@@ -1,0 +1,71 @@
+//===- bench/BenchUtil.h - Shared Figure 9 harness --------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The row runner shared by every Figure 9 reproduction binary: runs CEGIS
+/// on one suite entry and prints our measurement next to the paper's
+/// reported value. Absolute times are not expected to match (2008 SPIN +
+/// 2 GHz Core 2 Duo vs this substrate); the comparison columns are the
+/// verdict (Resolvable) and the iteration count, plus the time breakdown
+/// shape (Ssolve/Smodel/Vsolve/Vmodel).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCH_BENCHUTIL_H
+#define PSKETCH_BENCH_BENCHUTIL_H
+
+#include "benchmarks/Suite.h"
+#include "cegis/Cegis.h"
+#include "support/StrUtil.h"
+
+#include <cstdio>
+
+namespace psketch {
+namespace bench {
+
+inline void printFig9Header() {
+  std::printf("%-9s %-14s | %-11s %-11s | %9s %8s %8s %8s %8s %7s %8s\n",
+              "sketch", "test", "resolvable", "itns", "total(s)", "Ssolve",
+              "Smodel", "Vsolve", "Vmodel", "mem", "states");
+  std::printf("%-9s %-14s | %-11s %-11s | %9s %8s %8s %8s %8s %7s %8s\n", "",
+              "", "ours/paper", "ours/paper", "", "", "", "", "", "(MiB)",
+              "");
+  std::printf("--------------------------------------------------------------"
+              "-----------------------------------------------\n");
+}
+
+inline cegis::CegisResult runFig9Row(const SuiteEntry &E,
+                                     double TimeLimitSeconds = 600.0) {
+  auto P = E.Build();
+  cegis::CegisConfig Cfg;
+  Cfg.MaxIterations = 500;
+  Cfg.TimeLimitSeconds = TimeLimitSeconds;
+  cegis::ConcurrentCegis C(*P, Cfg);
+  cegis::CegisResult R = C.run();
+  std::printf(
+      "%-9s %-14s | %3s / %-5s %4u / %-4u | %9.2f %8.2f %8.2f %8.2f %8.2f "
+      "%7.0f %8llu%s\n",
+      E.Sketch.c_str(), E.Test.c_str(), R.Stats.Resolvable ? "yes" : "NO",
+      E.PaperResolvable ? "yes" : "NO", R.Stats.Iterations, E.PaperItns,
+      R.Stats.TotalSeconds, R.Stats.SsolveSeconds, R.Stats.SmodelSeconds,
+      R.Stats.VsolveSeconds, R.Stats.VmodelSeconds, R.Stats.PeakMemoryMiB,
+      static_cast<unsigned long long>(R.Stats.StatesExplored),
+      R.Stats.Aborted ? "  [ABORTED]" : "");
+  std::fflush(stdout);
+  return R;
+}
+
+inline void runFamily(const std::string &Family) {
+  printFig9Header();
+  for (const SuiteEntry &E : paperSuite(Family))
+    runFig9Row(E);
+}
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCH_BENCHUTIL_H

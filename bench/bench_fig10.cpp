@@ -1,0 +1,70 @@
+//===- bench/bench_fig10.cpp - Figure 10: log|C| vs iterations -------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// Reproduces Figure 10: the approximately linear correlation between the
+// log of the candidate-space size and the number of CEGIS iterations.
+// Prints one (log10|C|, itns) point per resolvable Figure 9 test plus the
+// least-squares fit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace psketch;
+using namespace psketch::bench;
+
+int main() {
+  std::printf("Figure 10: log10|C| vs CEGIS iterations\n");
+  std::printf("%-9s %-14s %10s %6s %8s\n", "sketch", "test", "log10|C|",
+              "itns", "paper");
+  std::printf("------------------------------------------------------\n");
+
+  std::vector<std::pair<double, double>> Points;
+  for (const SuiteEntry &E : paperSuite()) {
+    if (!E.PaperResolvable)
+      continue; // Figure 10 plots resolved sketches
+    auto P = E.Build();
+    double LogC = P->candidateSpaceSize().log10();
+    cegis::CegisConfig Cfg;
+    Cfg.MaxIterations = 500;
+    Cfg.TimeLimitSeconds = 600;
+    cegis::ConcurrentCegis C(*P, Cfg);
+    cegis::CegisResult R = C.run();
+    if (!R.Stats.Resolvable)
+      continue;
+    std::printf("%-9s %-14s %10.2f %6u %8u\n", E.Sketch.c_str(),
+                E.Test.c_str(), LogC, R.Stats.Iterations, E.PaperItns);
+    std::fflush(stdout);
+    Points.push_back({LogC, static_cast<double>(R.Stats.Iterations)});
+  }
+
+  // Least-squares fit itns = a * log10|C| + b, and the correlation.
+  double N = static_cast<double>(Points.size());
+  double Sx = 0, Sy = 0, Sxx = 0, Sxy = 0, Syy = 0;
+  for (auto [X, Y] : Points) {
+    Sx += X;
+    Sy += Y;
+    Sxx += X * X;
+    Sxy += X * Y;
+    Syy += Y * Y;
+  }
+  double Denominator = N * Sxx - Sx * Sx;
+  if (Denominator > 0 && N >= 2) {
+    double A = (N * Sxy - Sx * Sy) / Denominator;
+    double B = (Sy - A * Sx) / N;
+    double R2Num = (N * Sxy - Sx * Sy);
+    double R2Den = std::sqrt((N * Sxx - Sx * Sx) * (N * Syy - Sy * Sy));
+    double R = R2Den > 0 ? R2Num / R2Den : 0.0;
+    std::printf("------------------------------------------------------\n");
+    std::printf("fit: itns = %.2f * log10|C| + %.2f   (corr r = %.2f)\n", A,
+                B, R);
+    std::printf("The paper observes an approximately linear correlation; a\n"
+                "clearly positive slope and correlation reproduce the trend.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+//===- bench/bench_fig9_barrier.cpp - Figure 9: the barrier rows -----------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// Reproduces the barrier1/barrier2 rows of Figure 9.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace psketch::bench;
+
+int main() {
+  std::printf("Figure 9 (barrier rows): CEGIS on the sense-reversing "
+              "barrier sketches\n");
+  printFig9Header();
+  for (const char *Family : {"barrier1", "barrier2"})
+    for (const SuiteEntry &E : paperSuite(Family))
+      runFig9Row(E);
+  return 0;
+}

@@ -1,0 +1,18 @@
+//===- bench/bench_fig9_dinphilo.cpp - Figure 9: dining philosophers -------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// Reproduces the dinphilo rows of Figure 9 (N=3,T=5 / N=4,T=3 / N=5,T=3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace psketch::bench;
+
+int main() {
+  std::printf("Figure 9 (dining philosophers rows)\n");
+  runFamily("dinphilo");
+  return 0;
+}

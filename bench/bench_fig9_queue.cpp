@@ -1,0 +1,21 @@
+//===- bench/bench_fig9_queue.cpp - Figure 9: the queue rows ---------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// Reproduces the queueE1/queueDE1/queueE2/queueDE2 rows of Figure 9.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace psketch::bench;
+
+int main() {
+  std::printf("Figure 9 (queue rows): CEGIS on the lock-free queue sketches\n");
+  printFig9Header();
+  for (const char *Family : {"queueE1", "queueDE1", "queueE2", "queueDE2"})
+    for (const SuiteEntry &E : paperSuite(Family))
+      runFig9Row(E);
+  return 0;
+}

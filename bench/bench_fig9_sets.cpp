@@ -1,0 +1,25 @@
+//===- bench/bench_fig9_sets.cpp - Figure 9: the set rows ------------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// Reproduces the fineset1/fineset2/lazyset rows of Figure 9, including
+// the lazyset ar(ar|ar) row whose expected answer is NO (remove() cannot
+// take a single lock when threads mix adds and removes) and the
+// ar(aa|rr) row where a single lock is enough (the paper's surprise).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace psketch::bench;
+
+int main() {
+  std::printf("Figure 9 (set rows): CEGIS on the fine-locked and lazy "
+              "list-based sets\n");
+  printFig9Header();
+  for (const char *Family : {"fineset1", "fineset2", "lazyset"})
+    for (const SuiteEntry &E : paperSuite(Family))
+      runFig9Row(E);
+  return 0;
+}

@@ -1,0 +1,135 @@
+//===- bench/bench_micro.cpp - substrate microbenchmarks -------------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// google-benchmark microbenchmarks of the substrates the CEGIS loop is
+// built on: the CDCL solver, the gate graph + Tseitin encoding, the
+// flattener, the concrete machine, and the model checker. These are the
+// knobs that move the Ssolve/Smodel/Vsolve columns of Figure 9.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Queue.h"
+#include "benchmarks/Workload.h"
+#include "circuit/BitVec.h"
+#include "circuit/CnfBuilder.h"
+#include "desugar/Flatten.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+#include "synth/InductiveSynth.h"
+#include "verify/ModelChecker.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace psketch;
+
+namespace {
+
+/// Random 3-SAT near the satisfiable regime.
+void buildRandom3Sat(sat::Solver &S, int Vars, int Clauses, uint64_t Seed) {
+  Rng R(Seed);
+  for (int V = 0; V < Vars; ++V)
+    S.newVar();
+  for (int C = 0; C < Clauses; ++C) {
+    std::vector<sat::Lit> Clause;
+    for (int L = 0; L < 3; ++L)
+      Clause.push_back(sat::Lit(static_cast<sat::Var>(R.below(Vars)),
+                                R.below(2) != 0));
+    S.addClause(std::move(Clause));
+  }
+}
+
+void BM_SatRandom3Sat(benchmark::State &State) {
+  int Vars = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sat::Solver S;
+    buildRandom3Sat(S, Vars, static_cast<int>(Vars * 4.1), 42);
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_SatIncremental(benchmark::State &State) {
+  for (auto _ : State) {
+    sat::Solver S;
+    buildRandom3Sat(S, 80, 280, 7);
+    bool Sat = S.solve();
+    // Ten incremental refinements, as the inductive synthesizer does.
+    Rng R(9);
+    for (int I = 0; Sat && I < 10; ++I) {
+      std::vector<sat::Lit> Clause;
+      for (int L = 0; L < 3; ++L)
+        Clause.push_back(
+            sat::Lit(static_cast<sat::Var>(R.below(80)), R.below(2) != 0));
+      S.addClause(std::move(Clause));
+      Sat = S.solve();
+    }
+    benchmark::DoNotOptimize(Sat);
+  }
+}
+BENCHMARK(BM_SatIncremental);
+
+void BM_CircuitAdderChain(benchmark::State &State) {
+  unsigned Chain = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    circuit::Graph G;
+    circuit::BitVec Acc = bvInput(G, 8, "x");
+    for (unsigned I = 0; I < Chain; ++I)
+      Acc = bvAdd(G, Acc, bvConst(G, 8, I + 1));
+    benchmark::DoNotOptimize(G.numNodes());
+  }
+}
+BENCHMARK(BM_CircuitAdderChain)->Arg(64)->Arg(256);
+
+void BM_CircuitTseitin(benchmark::State &State) {
+  for (auto _ : State) {
+    circuit::Graph G;
+    circuit::BitVec A = bvInput(G, 8, "a"), B = bvInput(G, 8, "b");
+    circuit::NodeRef Root =
+        G.mkAnd(bvUlt(G, A, B), bvEq(G, bvAdd(G, A, B), bvConst(G, 8, 77)));
+    sat::Solver S;
+    circuit::CnfBuilder CB(G, S);
+    CB.assertTrue(Root);
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_CircuitTseitin);
+
+void BM_FlattenQueueE2(benchmark::State &State) {
+  for (auto _ : State) {
+    auto P = bench::buildQueue(bench::parseWorkload("ed(ed|ed)"),
+                               bench::QueueOptions{true, true});
+    flat::FlatProgram FP = flat::flatten(*P);
+    benchmark::DoNotOptimize(FP.totalSteps());
+  }
+}
+BENCHMARK(BM_FlattenQueueE2);
+
+void BM_CheckReferenceQueue(benchmark::State &State) {
+  bench::QueueOptions O{true, true, ir::ReorderEncoding::Quadratic};
+  auto P = bench::buildQueue(bench::parseWorkload("ed(ed|ed)"), O);
+  auto H = bench::queueReferenceCandidate(*P, O);
+  flat::FlatProgram FP = flat::flatten(*P);
+  for (auto _ : State) {
+    exec::Machine M(FP, H);
+    benchmark::DoNotOptimize(verify::checkCandidate(M).Ok);
+  }
+}
+BENCHMARK(BM_CheckReferenceQueue);
+
+void BM_EncodeQueueTrace(benchmark::State &State) {
+  bench::QueueOptions O{true, false, ir::ReorderEncoding::Quadratic};
+  auto P = bench::buildQueue(bench::parseWorkload("ed(ed|ed)"), O);
+  flat::FlatProgram FP = flat::flatten(*P);
+  for (auto _ : State) {
+    synth::InductiveSynth Synth(FP);
+    ir::HoleAssignment Cand;
+    benchmark::DoNotOptimize(Synth.solve(Cand));
+  }
+}
+BENCHMARK(BM_EncodeQueueTrace);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+//===- bench/bench_table1.cpp - Table 1: candidate-space sizes -------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// Reproduces Table 1: each benchmark sketch and the number |C| of
+// candidate programs it encodes, next to the order of magnitude the paper
+// reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Suite.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+using namespace psketch;
+using namespace psketch::bench;
+
+int main() {
+  std::printf("Table 1: benchmark sketches and candidate-space sizes |C|\n");
+  std::printf("%-10s %-44s %16s %10s %10s\n", "Sketch", "Description", "|C|",
+              "log10|C|", "paper");
+  std::printf("---------------------------------------------------------------"
+              "-----------------------------\n");
+
+  struct Row {
+    const char *Family;
+    const char *Description;
+    const char *PaperC; ///< as printed in Table 1
+  };
+  const Row Rows[] = {
+      {"queueE1", "Lock-free queue: restricted Enqueue()", "4"},
+      {"queueE2", "Lock-free queue, full Enqueue()", "1e6"},
+      {"queueDE1", "queueE1, plus sketched Dequeue()", "1e3"},
+      {"queueDE2", "queueE2, plus sketched Dequeue()", "1e8"},
+      {"barrier1", "Sense-reversing barrier, restricted", "1e4"},
+      {"barrier2", "Sense-reversing barrier, full", "1e7"},
+      {"fineset1", "Fine-locked list, restricted find() method", "1e4"},
+      {"fineset2", "Fine-locked list, full find()", "1e7"},
+      {"lazyset", "Lazy list, singly-locked remove()", "1e3"},
+      {"dinphilo", "Approximation of dining philosophers problem", "1e6"},
+  };
+  for (const Row &R : Rows) {
+    auto Entries = paperSuite(R.Family);
+    if (Entries.empty())
+      continue;
+    auto P = Entries.front().Build();
+    BigCount C = P->candidateSpaceSize();
+    std::printf("%-10s %-44s %16s %10.2f %10s\n", R.Family, R.Description,
+                C.str().c_str(), C.log10(), R.PaperC);
+  }
+  return 0;
+}

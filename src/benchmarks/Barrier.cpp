@@ -1,0 +1,177 @@
+//===- benchmarks/Barrier.cpp ----------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Barrier.h"
+
+#include "benchmarks/Predicates.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::bench;
+using namespace psketch::ir;
+
+namespace {
+
+class BarrierBuilder {
+public:
+  BarrierBuilder(Program &P, const BarrierOptions &O) : P(P), O(O) {}
+
+  void build() {
+    declare();
+    makeHoles();
+    for (unsigned T = 0; T < O.Threads; ++T) {
+      unsigned Id = P.addThread(format("worker%u", T));
+      P.setRoot(BodyId::thread(Id), makeThread(BodyId::thread(Id), T));
+    }
+    // After all rounds the barrier must be reset and idle.
+    P.setRoot(BodyId::epilogue(),
+              P.assertS(P.eq(P.global(GCount),
+                             P.constInt(static_cast<int64_t>(O.Threads))),
+                        "count restored to N"));
+  }
+
+private:
+  Program &P;
+  const BarrierOptions &O;
+
+  unsigned GSense = 0, GCount = 0, GSenses = 0, GReached = 0;
+  SmallPredicateHoles HSInit;
+  PredicateHoles HReset, HNewSense, HWaitGuard;
+  SmallPredicateHoles HWaitSense;
+  std::vector<unsigned> HOrd, HOrdInner;
+  unsigned Site = 0;
+
+  void declare() {
+    GSense = P.addGlobal("sense", Type::Bool, 0);
+    GCount = P.addGlobal("count", Type::Int,
+                         static_cast<int64_t>(O.Threads));
+    GSenses = P.addGlobalArray("senses", Type::Bool, O.Threads, 0);
+    GReached =
+        P.addGlobalArray("reached", Type::Int, O.Threads * O.Rounds, 0);
+  }
+
+  void makeHoles() {
+    if (O.Full) {
+      HSInit = SmallPredicateHoles::make(P, "bar.sinit");
+      HWaitGuard = PredicateHoles::make(P, "bar.waitguard", 2);
+      HWaitSense = SmallPredicateHoles::make(P, "bar.waitsense");
+    }
+    HReset = PredicateHoles::make(P, "bar.reset", 2);
+    HNewSense = PredicateHoles::make(P, "bar.newsense", 2);
+    HOrd = P.makeReorderHoles("bar.ord", 4, O.Encoding);
+    HOrdInner = P.makeReorderHoles("bar.inner", 2, O.Encoding);
+  }
+
+  /// One instantiation of the sketched next() for thread \p T.
+  StmtRef makeNext(BodyId B, unsigned T) {
+    unsigned Id = Site++;
+    unsigned LS = P.addLocal(B, format("s%u", Id), Type::Bool, 0);
+    unsigned LCv = P.addLocal(B, format("cv%u", Id), Type::Int, 0);
+    unsigned LT2 = P.addLocal(B, format("tmp2_%u", Id), Type::Bool, 0);
+    unsigned LT3 = P.addLocal(B, format("tmp3_%u", Id), Type::Bool, 0);
+    ExprRef S = P.local(LS, Type::Bool);
+    ExprRef Cv = P.local(LCv, Type::Int);
+    ExprRef T2 = P.local(LT2, Type::Bool);
+    ExprRef T3 = P.local(LT3, Type::Bool);
+    ExprRef Count = P.global(GCount);
+    ExprRef Sense = P.global(GSense);
+    ExprRef MySense = P.globalAt(GSenses, P.constInt(T));
+    ExprRef N = P.constInt(static_cast<int64_t>(O.Threads));
+
+    // (0) read and flip (or, in barrier2, synthesize) the local sense.
+    StmtRef Read = P.assign(P.locLocal(LS), MySense);
+    StmtRef Flip =
+        O.Full ? P.assign(P.locLocal(LS), HSInit.at(P, S))
+               : P.assign(P.locLocal(LS), P.lnot(S));
+
+    // (1) publish the local sense.
+    StmtRef A = P.assign(P.locGlobalAt(GSenses, P.constInt(T)), S);
+    // (2) atomically fetch-and-decrement the yet-to-arrive count.
+    StmtRef Bs = P.atomic(P.seq(
+        {P.assign(P.locLocal(LCv), Count),
+         P.assign(P.locGlobal(GCount), P.sub(Count, P.constInt(1)))}));
+    // (3) conditionally reset the barrier and wake the waiters.
+    StmtRef C = P.seq(
+        {P.assign(P.locLocal(LT2), HReset.at(P, Count, Cv, S, T2)),
+         P.ifS(T2, P.reorderOf(
+                       HOrdInner,
+                       {P.assign(P.locGlobal(GCount), N),
+                        P.assign(P.locGlobal(GSense),
+                                 HNewSense.at(P, Count, Cv, S, S))},
+                       O.Encoding))});
+    // (4) conditionally wait for the barrier sense.
+    ExprRef WaitGuard = O.Full ? HWaitGuard.at(P, Count, Cv, S, T2)
+                               : P.lnot(T2);
+    ExprRef WaitSense = O.Full ? HWaitSense.at(P, S) : S;
+    StmtRef D = P.seq({P.assign(P.locLocal(LT3), WaitGuard),
+                       P.ifS(T3, P.condAtomic(P.eq(Sense, WaitSense),
+                                              P.nop()))});
+
+    return P.seq(
+        {Read, Flip, P.reorderOf(HOrd, {A, Bs, C, D}, O.Encoding)});
+  }
+
+  StmtRef makeThread(BodyId B, unsigned T) {
+    unsigned Left = (T + O.Threads - 1) % O.Threads;
+    std::vector<StmtRef> Stmts;
+    for (unsigned Round = 0; Round < O.Rounds; ++Round) {
+      Stmts.push_back(P.assign(
+          P.locGlobalAt(GReached,
+                        P.constInt(static_cast<int64_t>(T * O.Rounds + Round))),
+          P.constInt(1)));
+      Stmts.push_back(makeNext(B, T));
+      Stmts.push_back(P.assertS(
+          P.eq(P.globalAt(GReached, P.constInt(static_cast<int64_t>(
+                                        Left * O.Rounds + Round))),
+               P.constInt(1)),
+          format("neighbour reached round %u", Round)));
+    }
+    return P.seq(std::move(Stmts));
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Program> psketch::bench::buildBarrier(const BarrierOptions &O) {
+  auto P = std::make_unique<Program>(/*IntWidth=*/8, /*PoolSize=*/1);
+  BarrierBuilder B(*P, O);
+  B.build();
+  return P;
+}
+
+static unsigned holeIdx(const Program &P, const std::string &Name) {
+  for (size_t I = 0; I < P.holes().size(); ++I)
+    if (P.holes()[I].Name == Name)
+      return static_cast<unsigned>(I);
+  assert(false && "hole not found");
+  return 0;
+}
+
+HoleAssignment
+psketch::bench::barrierReferenceCandidate(const Program &P,
+                                          const BarrierOptions &O) {
+  HoleAssignment H(P.holes().size(), 0);
+  auto Set = [&](const std::string &Name, uint64_t Value) {
+    H[holeIdx(P, Name)] = Value;
+  };
+  if (O.Full) {
+    Set("bar.sinit.form", 1);     // !c : flip the local sense
+    Set("bar.waitguard.form", 9); // !d : wait unless this thread reset
+    Set("bar.waitsense.form", 0); // c : wait for sense == s
+  }
+  Set("bar.reset.form", 4); // b==K : reset when cv == 1
+  Set("bar.reset.k", 1);
+  Set("bar.newsense.form", 6); // c : publish the new sense
+  assert(O.Encoding == ReorderEncoding::Quadratic &&
+         "reference candidate provided for the quadratic encoding");
+  for (unsigned I = 0; I < 4; ++I)
+    Set(format("bar.ord.order[%u]", I), I); // A, B, C, D in order
+  Set("bar.inner.order[0]", 0);             // count = N first,
+  Set("bar.inner.order[1]", 1);             // then flip the global sense
+  return H;
+}

@@ -1,0 +1,52 @@
+//===- benchmarks/Barrier.h - Sense-reversing barrier -----------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 8.2.2: the sense-reversing barrier. next() is sketched as a
+/// soup of operations in a reorder block: update the thread's local sense,
+/// atomically decrement the yet-to-arrive count, conditionally reset the
+/// barrier and wake the waiters (an inner reorder orders the reset), and
+/// conditionally wait on the global sense. The predicates guarding the
+/// reset and the wait, the new-sense expression, and the orderings are all
+/// synthesized.
+///
+/// The client program (the correctness harness from the paper): N threads
+/// pass B barrier rounds; before round b thread t sets reached[t][b], and
+/// after next() returns it asserts that its left neighbour also reached
+/// round b. Deadlock freedom is implicit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCHMARKS_BARRIER_H
+#define PSKETCH_BENCHMARKS_BARRIER_H
+
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace psketch {
+namespace bench {
+
+struct BarrierOptions {
+  unsigned Threads = 3; ///< N
+  unsigned Rounds = 2;  ///< B
+  bool Full = false;    ///< barrier2: sketch the sense flip and the wait too
+  ir::ReorderEncoding Encoding = ir::ReorderEncoding::Quadratic;
+};
+
+/// Builds the barrier benchmark (barrier1 when !Full, barrier2 when Full).
+std::unique_ptr<ir::Program> buildBarrier(const BarrierOptions &O);
+
+/// The textbook sense-reversing implementation as a hole assignment.
+ir::HoleAssignment barrierReferenceCandidate(const ir::Program &P,
+                                             const BarrierOptions &O);
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCHMARKS_BARRIER_H

@@ -1,0 +1,223 @@
+//===- benchmarks/DList.cpp ------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/DList.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::bench;
+using namespace psketch::ir;
+
+namespace {
+
+class DListBuilder {
+public:
+  DListBuilder(Program &P, const Workload &W, const DListOptions &O)
+      : P(P), W(W), O(O) {}
+
+  void build();
+
+private:
+  Program &P;
+  const Workload &W;
+  const DListOptions &O;
+
+  unsigned FVal = 0, FNext = 0, FPrev = 0;
+  unsigned GHead = 0, GInList = 0;
+  unsigned NumInserts = 0;
+  unsigned Site = 0;
+
+  // The Section 4.1 CAS fragment holes (3 x 3 x 3 = 27 combinations).
+  unsigned HCasLoc = 0, HCasOld = 0, HCasNew = 0;
+  // The snapshot and fixup generators.
+  unsigned HSnapLoc = 0, HSnapVal = 0;
+  unsigned HFixGuard = 0, HFixLoc = 0, HFixVal = 0;
+  std::vector<unsigned> HOrd;
+
+  StmtRef makeInsert(BodyId B, int64_t Value);
+  StmtRef makeChecks();
+};
+
+StmtRef DListBuilder::makeInsert(BodyId B, int64_t Value) {
+  unsigned Id = Site++;
+  unsigned LN = P.addLocal(B, format("n%u", Id), Type::Ptr, 0);
+  unsigned LDone = P.addLocal(B, format("done%u", Id), Type::Bool, 0);
+  ExprRef N = P.local(LN, Type::Ptr);
+  ExprRef Done = P.local(LDone, Type::Bool);
+  ExprRef Head = P.global(GHead);
+
+  auto NodeFields = [&]() {
+    return std::vector<ExprRef>{N, P.field(N, FNext), P.field(N, FPrev)};
+  };
+
+  // S1: snapshot — {| n.next | n.prev |} = {| head | head.next | head.prev |}.
+  StmtRef Snapshot = P.choiceAssignOf(
+      HSnapLoc, {P.locField(N, FNext), P.locField(N, FPrev)},
+      P.choiceOf(HSnapVal,
+                 {Head, P.field(Head, FNext), P.field(Head, FPrev)}));
+
+  // S2: the Section 4.1 CAS. Each location choice is its own statically
+  // guarded atomic compare-and-swap.
+  std::vector<Loc> CasTargets = {P.locGlobal(GHead),
+                                 P.locField(Head, FNext),
+                                 P.locField(Head, FPrev)};
+  std::vector<StmtRef> CasArms;
+  for (size_t J = 0; J < CasTargets.size(); ++J)
+    CasArms.push_back(
+        P.ifS(P.eq(P.holeValue(HCasLoc), P.constInt(static_cast<int64_t>(J))),
+              P.casFlag(CasTargets[J], P.choiceOf(HCasOld, NodeFields()),
+                        P.choiceOf(HCasNew, NodeFields()),
+                        P.locLocal(LDone))));
+  StmtRef Publish = P.seq(std::move(CasArms));
+
+  StmtRef Loop =
+      P.whileS(P.lnot(Done),
+               P.reorderOf(HOrd, {Snapshot, Publish}, O.Encoding),
+               O.Retries);
+
+  // Backward-pointer fixup, once the node is published.
+  ExprRef FixGuard = P.choiceOf(
+      HFixGuard, {P.ne(P.field(N, FNext), P.null()), P.constBool(true),
+                  P.constBool(false)});
+  StmtRef Fixup = P.ifS(
+      FixGuard,
+      P.choiceAssignOf(HFixLoc,
+                       {P.locField(P.field(N, FNext), FPrev),
+                        P.locField(Head, FPrev), P.locField(N, FPrev)},
+                       P.choiceOf(HFixVal, {N, P.field(N, FNext), P.null()})));
+
+  return P.seq({P.alloc(P.locLocal(LN)),
+                P.assign(P.locField(N, FVal), P.constInt(Value)), Loop,
+                Fixup});
+}
+
+StmtRef DListBuilder::makeChecks() {
+  BodyId E = BodyId::epilogue();
+  unsigned LP = P.addLocal(E, "walk", Type::Ptr, 0);
+  ExprRef Walk = P.local(LP, Type::Ptr);
+  ExprRef Head = P.global(GHead);
+
+  std::vector<StmtRef> Checks = {
+      P.assertS(P.ne(Head, P.null()), "head non-null"),
+      P.assign(P.locLocal(LP), Head),
+  };
+  // Forward walk: census per value; backward consistency at each hop.
+  StmtRef WalkBody = P.seq({
+      P.ifS(P.ne(P.field(Walk, FNext), P.null()),
+            P.assertS(P.eq(P.field(P.field(Walk, FNext), FPrev), Walk),
+                      "backward pointer consistent")),
+      P.assign(P.locGlobalAt(GInList, P.field(Walk, FVal)),
+               P.add(P.globalAt(GInList, P.field(Walk, FVal)),
+                     P.constInt(1))),
+      P.assign(P.locLocal(LP), P.field(Walk, FNext)),
+  });
+  Checks.push_back(
+      P.whileS(P.ne(Walk, P.null()), WalkBody, P.poolSize() + 1));
+  for (unsigned V = 1; V <= NumInserts; ++V)
+    Checks.push_back(P.assertS(
+        P.eq(P.globalAt(GInList, P.constInt(V)), P.constInt(1)),
+        format("value %u inserted exactly once", V)));
+  return P.seq(std::move(Checks));
+}
+
+void DListBuilder::build() {
+  FVal = P.addField("val", Type::Int);
+  FNext = P.addField("next", Type::Ptr);
+  FPrev = P.addField("prev", Type::Ptr);
+  GHead = P.addGlobal("head", Type::Ptr, 0);
+
+  NumInserts = W.countOp('i');
+  GInList = P.addGlobalArray("inlist", Type::Int, NumInserts + 1, 0);
+  P.setPoolSize(1 + NumInserts); // sentinel + inserts
+
+  HOrd = P.makeReorderHoles("ins.ord", 2, O.Encoding);
+  HSnapLoc = P.addHole("ins.snapLoc", 2);
+  HSnapVal = P.addHole("ins.snapVal", 3);
+  HCasLoc = P.addHole("ins.casLoc", 3);
+  HCasOld = P.addHole("ins.casOld", 3);
+  HCasNew = P.addHole("ins.casNew", 3);
+  HFixGuard = P.addHole("ins.fixGuard", 3);
+  HFixLoc = P.addHole("ins.fixLoc", 3);
+  HFixVal = P.addHole("ins.fixVal", 3);
+
+  // Prologue: the sentinel, plus prefix inserts.
+  BodyId Pro = BodyId::prologue();
+  unsigned LS = P.addLocal(Pro, "sentinel", Type::Ptr, 0);
+  std::vector<StmtRef> ProStmts = {
+      P.alloc(P.locLocal(LS)),
+      P.assign(P.locGlobal(GHead), P.local(LS, Type::Ptr)),
+  };
+  int64_t NextValue = 1;
+  for ([[maybe_unused]] char Op : W.PrefixOps) {
+    assert(Op == 'i' && "dlist workloads use only insert ops");
+    ProStmts.push_back(makeInsert(Pro, NextValue++));
+  }
+  P.setRoot(Pro, P.seq(std::move(ProStmts)));
+
+  for (unsigned T = 0; T < W.numThreads(); ++T) {
+    unsigned Id = P.addThread(format("ops%u", T));
+    std::vector<StmtRef> Stmts;
+    for (char Op : W.ThreadOps[T]) {
+      assert(Op == 'i' && "dlist workloads use only insert ops");
+      (void)Op;
+      Stmts.push_back(makeInsert(BodyId::thread(Id), NextValue++));
+    }
+    P.setRoot(BodyId::thread(Id), P.seq(std::move(Stmts)));
+  }
+
+  BodyId Epi = BodyId::epilogue();
+  std::vector<StmtRef> EpiStmts;
+  for (char Op : W.SuffixOps) {
+    assert(Op == 'i' && "dlist workloads use only insert ops");
+    (void)Op;
+    EpiStmts.push_back(makeInsert(Epi, NextValue++));
+  }
+  EpiStmts.push_back(makeChecks());
+  P.setRoot(Epi, P.seq(std::move(EpiStmts)));
+}
+
+} // namespace
+
+std::unique_ptr<Program> psketch::bench::buildDList(const Workload &W,
+                                                    const DListOptions &O) {
+  auto P = std::make_unique<Program>(/*IntWidth=*/8, /*PoolSize=*/7);
+  DListBuilder B(*P, W, O);
+  B.build();
+  return P;
+}
+
+static unsigned holeIdx(const Program &P, const std::string &Name) {
+  for (size_t I = 0; I < P.holes().size(); ++I)
+    if (P.holes()[I].Name == Name)
+      return static_cast<unsigned>(I);
+  assert(false && "hole not found");
+  return 0;
+}
+
+HoleAssignment
+psketch::bench::dlistReferenceCandidate(const Program &P,
+                                        const DListOptions &O) {
+  HoleAssignment H(P.holes().size(), 0);
+  auto Set = [&](const std::string &Name, uint64_t Value) {
+    H[holeIdx(P, Name)] = Value;
+  };
+  assert(O.Encoding == ReorderEncoding::Quadratic &&
+         "reference candidate provided for the quadratic encoding");
+  Set("ins.ord.order[0]", 0); // snapshot first,
+  Set("ins.ord.order[1]", 1); // then publish
+  Set("ins.snapLoc", 0);      // n.next
+  Set("ins.snapVal", 0);      // = head
+  Set("ins.casLoc", 0);       // CAS on head
+  Set("ins.casOld", 1);       // expecting n.next (the snapshot)
+  Set("ins.casNew", 0);       // -> n
+  Set("ins.fixGuard", 0);     // n.next != null
+  Set("ins.fixLoc", 0);       // n.next.prev
+  Set("ins.fixVal", 0);       // = n
+  return H;
+}

@@ -1,0 +1,62 @@
+//===- benchmarks/DList.h - Doubly-linked list (Section 4.1) ----*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.1 illustrates RE-generators with a CAS over a doubly-linked
+/// structure:
+///
+///   CAS({| head(.next|.prev)? |}, {| newNode(.next|.prev)? |},
+///       {| newNode(.next|.prev)? |})
+///
+/// "he effectively specified all 27 CAS fragments that made sense in the
+/// context of the list addition operation". The paper sketches (but
+/// omits from Figure 9) the doubly-linked list benchmark; this module
+/// supplies it: concurrent insert-at-head where the CAS publication (all
+/// 27 fragments) and the backward-pointer fixup (target and value
+/// generators) are synthesized.
+///
+/// Correctness: forward integrity (head chain reaches the sentinel within
+/// the pool bound), value conservation, and quiescent backward
+/// consistency — for every reachable node x with a successor,
+/// x.next.prev == x. The intended resolution snapshots the head into
+/// newNode.next, CASes head from newNode.next to newNode, and fixes
+/// newNode.next.prev = newNode; each fixup writes a distinct node, so
+/// backward consistency holds at quiescence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCHMARKS_DLIST_H
+#define PSKETCH_BENCHMARKS_DLIST_H
+
+#include "benchmarks/Workload.h"
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace psketch {
+namespace bench {
+
+struct DListOptions {
+  ir::ReorderEncoding Encoding = ir::ReorderEncoding::Quadratic;
+  unsigned Retries = 3; ///< CAS retry bound per insert
+};
+
+/// Builds the doubly-linked insert benchmark; ops are 'i' (insert), e.g.
+/// "i(i|i)".
+std::unique_ptr<ir::Program> buildDList(const Workload &W,
+                                        const DListOptions &O =
+                                            DListOptions());
+
+/// The intended resolution described above.
+ir::HoleAssignment dlistReferenceCandidate(const ir::Program &P,
+                                           const DListOptions &O);
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCHMARKS_DLIST_H

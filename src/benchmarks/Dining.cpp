@@ -1,0 +1,171 @@
+//===- benchmarks/Dining.cpp -----------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Dining.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::bench;
+using namespace psketch::ir;
+
+namespace {
+
+class DiningBuilder {
+public:
+  DiningBuilder(Program &P, const DiningOptions &O) : P(P), O(O) {}
+
+  void build() {
+    GSticks = P.addGlobalArray("sticks", Type::Int, O.Philosophers, 0);
+    GEats = P.addGlobalArray("eats", Type::Int, O.Philosophers, 0);
+
+    // The acquisition policy and the release policy are predicates over
+    // (p, t); each has 12 forms and two small constants.
+    HAcqForm = P.addHole("phil.acq.form", 12);
+    HAcqK1 = P.addHole("phil.acq.k1", 8);
+    HAcqK2 = P.addHole("phil.acq.k2", 8);
+    HRelForm = P.addHole("phil.rel.form", 12);
+    HRelK1 = P.addHole("phil.rel.k1", 8);
+    HRelK2 = P.addHole("phil.rel.k2", 8);
+    HRelA = P.addHole("phil.relA", 2); // first released stick
+    HRelB = P.addHole("phil.relB", 2); // second released stick
+
+    for (unsigned Phil = 0; Phil < O.Philosophers; ++Phil) {
+      unsigned Id = P.addThread(format("phil%u", Phil));
+      P.setRoot(BodyId::thread(Id), makePhilosopher(Phil));
+    }
+
+    std::vector<StmtRef> Checks;
+    for (unsigned Phil = 0; Phil < O.Philosophers; ++Phil) {
+      Checks.push_back(P.assertS(
+          P.eq(P.globalAt(GEats, P.constInt(Phil)),
+               P.constInt(static_cast<int64_t>(O.Meals))),
+          format("philosopher %u ate %u times", Phil, O.Meals)));
+      Checks.push_back(
+          P.assertS(P.eq(P.globalAt(GSticks, P.constInt(Phil)),
+                         P.constInt(0)),
+                    format("chopstick %u released", Phil)));
+    }
+    P.setRoot(BodyId::epilogue(), P.seq(std::move(Checks)));
+  }
+
+private:
+  Program &P;
+  const DiningOptions &O;
+  unsigned GSticks = 0, GEats = 0;
+  unsigned HAcqForm = 0, HAcqK1 = 0, HAcqK2 = 0;
+  unsigned HRelForm = 0, HRelK1 = 0, HRelK2 = 0;
+  unsigned HRelA = 0, HRelB = 0;
+
+  StmtRef lockStick(unsigned Stick, int64_t Pid) {
+    ExprRef Owner = P.globalAt(GSticks, P.constInt(Stick));
+    return P.condAtomic(
+        P.eq(Owner, P.constInt(0)),
+        P.assign(P.locGlobalAt(GSticks, P.constInt(Stick)),
+                 P.constInt(Pid)));
+  }
+  StmtRef unlockStick(ExprRef StickIndex, int64_t Pid) {
+    ExprRef Owner = P.globalAt(GSticks, StickIndex);
+    return P.atomic(
+        P.seq({P.assertS(P.eq(Owner, P.constInt(Pid)),
+                         "release of a chopstick we do not hold"),
+               P.assign(P.locGlobalAt(GSticks, StickIndex),
+                        P.constInt(0))}));
+  }
+
+  /// predicate(p, t): 12 forms over the philosopher id, the meal round,
+  /// and two constants.
+  ExprRef policy(unsigned Form, unsigned K1, unsigned K2, int64_t Phil,
+                 int64_t Round) {
+    ExprRef Pe = P.constInt(Phil);
+    ExprRef Te = P.constInt(Round);
+    ExprRef K1e = P.holeValue(K1);
+    ExprRef K2e = P.holeValue(K2);
+    return P.choiceOf(Form, {
+                                P.constBool(true),
+                                P.constBool(false),
+                                P.eq(Pe, K1e),
+                                P.ne(Pe, K1e),
+                                P.lt(Pe, K1e),
+                                P.eq(Te, K2e),
+                                P.ne(Te, K2e),
+                                P.lt(Te, K2e),
+                                P.eq(Pe, Te),
+                                P.ne(Pe, Te),
+                                P.land(P.eq(Pe, K1e), P.eq(Te, K2e)),
+                                P.lor(P.eq(Pe, K1e), P.eq(Te, K2e)),
+                            });
+  }
+
+  StmtRef makePhilosopher(unsigned Phil) {
+    int64_t Pid = static_cast<int64_t>(Phil) + 1;
+    unsigned Left = Phil;
+    unsigned Right = (Phil + 1) % O.Philosophers;
+    std::vector<StmtRef> Stmts;
+    for (unsigned Round = 0; Round < O.Meals; ++Round) {
+      // Acquisition: policy true => right stick first.
+      ExprRef Acq = policy(HAcqForm, HAcqK1, HAcqK2, Phil, Round);
+      Stmts.push_back(P.ifS(
+          Acq, P.seq({lockStick(Right, Pid), lockStick(Left, Pid)}),
+          P.seq({lockStick(Left, Pid), lockStick(Right, Pid)})));
+      // Eat.
+      Stmts.push_back(
+          P.assign(P.locGlobalAt(GEats, P.constInt(Phil)),
+                   P.add(P.globalAt(GEats, P.constInt(Phil)),
+                         P.constInt(1))));
+      // Release: target sticks and order are synthesized; releasing a
+      // stick we do not hold (or the same stick twice) fails the unlock
+      // assert.
+      ExprRef StickA = P.choiceOf(
+          HRelA, {P.constInt(static_cast<int64_t>(Left)),
+                  P.constInt(static_cast<int64_t>(Right))});
+      ExprRef StickB = P.choiceOf(
+          HRelB, {P.constInt(static_cast<int64_t>(Right)),
+                  P.constInt(static_cast<int64_t>(Left))});
+      ExprRef Rel = policy(HRelForm, HRelK1, HRelK2, Phil, Round);
+      Stmts.push_back(
+          P.ifS(Rel, P.seq({unlockStick(StickA, Pid),
+                            unlockStick(StickB, Pid)}),
+                P.seq({unlockStick(StickB, Pid),
+                       unlockStick(StickA, Pid)})));
+    }
+    return P.seq(std::move(Stmts));
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Program> psketch::bench::buildDining(const DiningOptions &O) {
+  auto P = std::make_unique<Program>(/*IntWidth=*/8, /*PoolSize=*/1);
+  DiningBuilder B(*P, O);
+  B.build();
+  return P;
+}
+
+static unsigned holeIdx(const Program &P, const std::string &Name) {
+  for (size_t I = 0; I < P.holes().size(); ++I)
+    if (P.holes()[I].Name == Name)
+      return static_cast<unsigned>(I);
+  assert(false && "hole not found");
+  return 0;
+}
+
+HoleAssignment
+psketch::bench::diningReferenceCandidate(const Program &P,
+                                         const DiningOptions &O) {
+  HoleAssignment H(P.holes().size(), 0);
+  auto Set = [&](const std::string &Name, uint64_t Value) {
+    H[holeIdx(P, Name)] = Value;
+  };
+  Set("phil.acq.form", 2); // p == K1
+  Set("phil.acq.k1", O.Philosophers - 1); // the last reverses the order
+  Set("phil.rel.form", 0); // true: release A then B (either works)
+  Set("phil.relA", 0);     // left
+  Set("phil.relB", 0);     // right
+  return H;
+}

@@ -1,0 +1,46 @@
+//===- benchmarks/Dining.h - Dining philosophers ----------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 8.2.5: P philosophers, P chopstick locks, T meals each. The
+/// chopstick-acquisition policy — whether a philosopher picks up the right
+/// or the left stick first, as a predicate over (p, t, P) — and the
+/// release order/targets are synthesized. Property (1), "some philosopher
+/// can always eat", is the checker's deadlock-freedom; property (2),
+/// "every philosopher eventually eats", is approximated by the bounded
+/// execution completing with eats[p] == T for all p, exactly the paper's
+/// safety approximation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCHMARKS_DINING_H
+#define PSKETCH_BENCHMARKS_DINING_H
+
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace psketch {
+namespace bench {
+
+struct DiningOptions {
+  unsigned Philosophers = 3; ///< P
+  unsigned Meals = 5;        ///< T
+};
+
+std::unique_ptr<ir::Program> buildDining(const DiningOptions &O);
+
+/// The classic asymmetric solution: the last philosopher picks the right
+/// stick first, releases are well-paired.
+ir::HoleAssignment diningReferenceCandidate(const ir::Program &P,
+                                            const DiningOptions &O);
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCHMARKS_DINING_H

@@ -1,0 +1,361 @@
+//===- benchmarks/FineSet.cpp ----------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/FineSet.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::bench;
+using namespace psketch::ir;
+
+namespace {
+
+/// Sentinel keys; node keys live in [1, MaxKey].
+const int64_t HeadKey = -100;
+const int64_t TailKey = 100;
+
+class FineSetBuilder {
+public:
+  FineSetBuilder(Program &P, const Workload &W, const FineSetOptions &O)
+      : P(P), W(W), O(O) {}
+
+  void build();
+
+private:
+  Program &P;
+  const Workload &W;
+  const FineSetOptions &O;
+
+  unsigned FKey = 0, FNext = 0, FOwner = 0;
+  unsigned GHead = 0, GASucc = 0, GRSucc = 0, GInSet = 0;
+  unsigned NumAdds = 0, NumRemoves = 0, MaxKey = 0;
+  unsigned Site = 0;
+
+  // Shared sketch holes for find()'s traversal loop.
+  std::vector<unsigned> HOrd;
+  unsigned HComp1 = 0, HNode1 = 0; // conditional lock
+  unsigned HComp2 = 0, HNode2 = 0; // conditional unlock
+  unsigned HComp3 = 0, HNode3 = 0; // fineset2's extra lock slot
+
+  struct OpInfo {
+    char Op;
+    int64_t Key;
+    unsigned Slot; // index into asucc/rsucc
+  };
+  std::vector<std::vector<OpInfo>> ThreadPlans;
+  std::vector<OpInfo> PrefixPlan, SuffixPlan;
+
+  void declare();
+  void makeHoles();
+  void plan();
+
+  ExprRef ownerOf(ExprRef Node) { return P.field(Node, FOwner); }
+  StmtRef lockNode(ExprRef Node, int64_t Pid) {
+    return P.condAtomic(P.eq(ownerOf(Node), P.constInt(0)),
+                        P.assign(P.locField(Node, FOwner), P.constInt(Pid)));
+  }
+  StmtRef unlockNode(ExprRef Node, int64_t Pid) {
+    return P.atomic(
+        P.seq({P.assertS(P.eq(ownerOf(Node), P.constInt(Pid)),
+                         "unlock of a lock we do not hold"),
+               P.assign(P.locField(Node, FOwner), P.constInt(0))}));
+  }
+
+  std::vector<ExprRef> compChoices(ExprRef Prev, ExprRef Cur, ExprRef TPrev);
+  std::vector<ExprRef> nodeChoices(ExprRef Prev, ExprRef Cur, ExprRef TPrev);
+  StmtRef condLock(unsigned CompHole, unsigned NodeHole, ExprRef Prev,
+                   ExprRef Cur, ExprRef TPrev, int64_t Pid, bool IsUnlock);
+  StmtRef makeOp(BodyId B, const OpInfo &Op, int64_t Pid);
+  StmtRef makeChecks();
+};
+
+void FineSetBuilder::declare() {
+  FKey = P.addField("key", Type::Int);
+  FNext = P.addField("next", Type::Ptr);
+  FOwner = P.addField("owner", Type::Int);
+  GHead = P.addGlobal("head", Type::Ptr, 0);
+}
+
+void FineSetBuilder::plan() {
+  // Key scheme: prologue/epilogue ops use key 1; thread t uses 2 + (t%2),
+  // so adjacent threads contend on traversals and some patterns race on
+  // the same key.
+  unsigned ASlot = 0, RSlot = 0;
+  auto PlanOps = [&](const std::vector<char> &Ops, int64_t Key,
+                     std::vector<OpInfo> &Out) {
+    for (char Op : Ops) {
+      assert((Op == 'a' || Op == 'r') && "set workloads use a/r ops");
+      unsigned Slot = Op == 'a' ? ASlot++ : RSlot++;
+      Out.push_back(OpInfo{Op, Key, Slot});
+      MaxKey = std::max<unsigned>(MaxKey, static_cast<unsigned>(Key));
+    }
+  };
+  PlanOps(W.PrefixOps, 1, PrefixPlan);
+  ThreadPlans.resize(W.numThreads());
+  for (unsigned T = 0; T < W.numThreads(); ++T)
+    PlanOps(W.ThreadOps[T], 2 + static_cast<int64_t>(T % 2), ThreadPlans[T]);
+  PlanOps(W.SuffixOps, 1, SuffixPlan);
+  NumAdds = ASlot;
+  NumRemoves = RSlot;
+
+  GASucc = P.addGlobalArray("asucc", Type::Int, std::max(NumAdds, 1u), 0);
+  GRSucc = P.addGlobalArray("rsucc", Type::Int, std::max(NumRemoves, 1u), 0);
+  GInSet = P.addGlobalArray("inset", Type::Int, MaxKey + 1, 0);
+  P.setPoolSize(2 + NumAdds);
+}
+
+void FineSetBuilder::makeHoles() {
+  unsigned NumComp = O.Full ? 8 : 4;
+  unsigned NumNode = O.Full ? 6 : 3;
+  HOrd = P.makeReorderHoles("find.ord", O.Full ? 5 : 4, O.Encoding);
+  HComp1 = P.addHole("find.comp1", NumComp);
+  HNode1 = P.addHole("find.node1", NumNode);
+  HComp2 = P.addHole("find.comp2", NumComp);
+  HNode2 = P.addHole("find.node2", NumNode);
+  if (O.Full) {
+    HComp3 = P.addHole("find.comp3", NumComp);
+    HNode3 = P.addHole("find.node3", NumNode);
+  }
+}
+
+std::vector<ExprRef> FineSetBuilder::compChoices(ExprRef Prev, ExprRef Cur,
+                                                 ExprRef TPrev) {
+  std::vector<ExprRef> Choices = {
+      P.constBool(true),
+      P.constBool(false),
+      P.ne(Prev, P.null()),
+      P.ne(Prev, TPrev),
+  };
+  if (O.Full) {
+    Choices.push_back(P.eq(Prev, P.null()));
+    Choices.push_back(P.eq(Prev, TPrev));
+    Choices.push_back(P.eq(P.field(Cur, FNext), P.null()));
+    Choices.push_back(P.ne(P.field(Cur, FNext), P.null()));
+  }
+  return Choices;
+}
+
+std::vector<ExprRef> FineSetBuilder::nodeChoices(ExprRef Prev, ExprRef Cur,
+                                                 ExprRef TPrev) {
+  std::vector<ExprRef> Choices = {Prev, Cur, P.field(Cur, FNext)};
+  if (O.Full) {
+    Choices.push_back(P.field(Prev, FNext));
+    Choices.push_back(TPrev);
+    Choices.push_back(P.field(TPrev, FNext));
+  }
+  return Choices;
+}
+
+StmtRef FineSetBuilder::condLock(unsigned CompHole, unsigned NodeHole,
+                                 ExprRef Prev, ExprRef Cur, ExprRef TPrev,
+                                 int64_t Pid, bool IsUnlock) {
+  ExprRef Cond = P.choiceOf(CompHole, compChoices(Prev, Cur, TPrev));
+  ExprRef Node = P.choiceOf(NodeHole, nodeChoices(Prev, Cur, TPrev));
+  StmtRef Action = IsUnlock ? unlockNode(Node, Pid) : lockNode(Node, Pid);
+  return P.ifS(Cond, Action);
+}
+
+StmtRef FineSetBuilder::makeOp(BodyId B, const OpInfo &Op, int64_t Pid) {
+  unsigned Id = Site++;
+  unsigned LPrev = P.addLocal(B, format("prev%u", Id), Type::Ptr, 0);
+  unsigned LCur = P.addLocal(B, format("cur%u", Id), Type::Ptr, 0);
+  unsigned LTPrev = P.addLocal(B, format("tprev%u", Id), Type::Ptr, 0);
+  ExprRef Prev = P.local(LPrev, Type::Ptr);
+  ExprRef Cur = P.local(LCur, Type::Ptr);
+  ExprRef TPrev = P.local(LTPrev, Type::Ptr);
+  ExprRef Head = P.global(GHead);
+  ExprRef Key = P.constInt(Op.Key);
+
+  // find(key): the hand-over-hand traversal. The window starts at the
+  // head sentinel with both hands locked.
+  std::vector<StmtRef> Stmts = {
+      lockNode(Head, Pid),
+      P.assign(P.locLocal(LPrev), Head),
+      P.assign(P.locLocal(LCur), P.field(Head, FNext)),
+      lockNode(Cur, Pid),
+  };
+
+  std::vector<StmtRef> Soup = {
+      condLock(HComp1, HNode1, Prev, Cur, TPrev, Pid, /*IsUnlock=*/false),
+      condLock(HComp2, HNode2, Prev, Cur, TPrev, Pid, /*IsUnlock=*/true),
+      P.assign(P.locLocal(LPrev), Cur),
+      P.assign(P.locLocal(LCur), P.field(Cur, FNext)),
+  };
+  if (O.Full)
+    Soup.insert(Soup.begin() + 2,
+                condLock(HComp3, HNode3, Prev, Cur, TPrev, Pid,
+                         /*IsUnlock=*/false));
+
+  StmtRef LoopBody =
+      P.seq({P.assign(P.locLocal(LTPrev), Prev),
+             P.reorderOf(HOrd, std::move(Soup), O.Encoding)});
+  Stmts.push_back(P.whileS(P.lt(P.field(Cur, FKey), Key), LoopBody,
+                           P.poolSize() + 1));
+
+  // The operation proper, under the window's locks.
+  if (Op.Op == 'a') {
+    unsigned LNew = P.addLocal(B, format("new%u", Id), Type::Ptr, 0);
+    ExprRef NewN = P.local(LNew, Type::Ptr);
+    Stmts.push_back(P.ifS(
+        P.ne(P.field(Cur, FKey), Key),
+        P.seq({P.alloc(P.locLocal(LNew)),
+               P.assign(P.locField(NewN, FKey), Key),
+               P.assign(P.locField(NewN, FNext), Cur),
+               P.assign(P.locField(Prev, FNext), NewN),
+               P.assign(P.locGlobalAt(GASucc, P.constInt(Op.Slot)),
+                        P.constInt(1))})));
+  } else {
+    Stmts.push_back(P.ifS(
+        P.eq(P.field(Cur, FKey), Key),
+        P.seq({P.assign(P.locField(Prev, FNext), P.field(Cur, FNext)),
+               P.assign(P.locGlobalAt(GRSucc, P.constInt(Op.Slot)),
+                        P.constInt(1))})));
+  }
+  Stmts.push_back(unlockNode(Prev, Pid));
+  Stmts.push_back(unlockNode(Cur, Pid));
+  return P.seq(std::move(Stmts));
+}
+
+StmtRef FineSetBuilder::makeChecks() {
+  BodyId E = BodyId::epilogue();
+  unsigned LP = P.addLocal(E, "walk", Type::Ptr, 0);
+  ExprRef Walk = P.local(LP, Type::Ptr);
+  ExprRef Head = P.global(GHead);
+
+  std::vector<StmtRef> Checks = {
+      P.assertS(P.ne(Head, P.null()), "head non-null"),
+      P.assign(P.locLocal(LP), Head),
+  };
+  StmtRef WalkBody = P.seq({
+      P.assertS(P.eq(P.field(Walk, FOwner), P.constInt(0)),
+                "all locks released"),
+      P.ifS(P.ne(P.field(Walk, FNext), P.null()),
+            P.assertS(P.lt(P.field(Walk, FKey),
+                           P.field(P.field(Walk, FNext), FKey)),
+                      "strictly sorted"),
+            P.assertS(P.eq(P.field(Walk, FKey), P.constInt(TailKey)),
+                      "last node is the tail sentinel")),
+      P.ifS(P.land(P.le(P.constInt(1), P.field(Walk, FKey)),
+                   P.le(P.field(Walk, FKey),
+                        P.constInt(static_cast<int64_t>(MaxKey)))),
+            P.assign(P.locGlobalAt(GInSet, P.field(Walk, FKey)),
+                     P.add(P.globalAt(GInSet, P.field(Walk, FKey)),
+                           P.constInt(1)))),
+      P.assign(P.locLocal(LP), P.field(Walk, FNext)),
+  });
+  Checks.push_back(
+      P.whileS(P.ne(Walk, P.null()), WalkBody, P.poolSize() + 1));
+
+  // Conservation per key: adds - removes (successful) == final presence.
+  for (unsigned K = 1; K <= MaxKey; ++K) {
+    ExprRef Net = P.constInt(0);
+    auto Accumulate = [&](const std::vector<OpInfo> &Plan) {
+      for (const OpInfo &Op : Plan) {
+        if (static_cast<unsigned>(Op.Key) != K)
+          continue;
+        ExprRef Succ = Op.Op == 'a'
+                           ? P.globalAt(GASucc, P.constInt(Op.Slot))
+                           : P.globalAt(GRSucc, P.constInt(Op.Slot));
+        Net = Op.Op == 'a' ? P.add(Net, Succ) : P.sub(Net, Succ);
+      }
+    };
+    Accumulate(PrefixPlan);
+    for (const auto &Plan : ThreadPlans)
+      Accumulate(Plan);
+    Accumulate(SuffixPlan);
+    Checks.push_back(
+        P.assertS(P.eq(Net, P.globalAt(GInSet, P.constInt(K))),
+                  format("conservation of key %u", K)));
+  }
+  return P.seq(std::move(Checks));
+}
+
+void FineSetBuilder::build() {
+  declare();
+  plan();
+  makeHoles();
+
+  // Prologue: build the sentinels, then the prefix ops (pid 100).
+  BodyId Pro = BodyId::prologue();
+  unsigned LHead = P.addLocal(Pro, "h", Type::Ptr, 0);
+  unsigned LTail = P.addLocal(Pro, "t", Type::Ptr, 0);
+  ExprRef H = P.local(LHead, Type::Ptr);
+  ExprRef T = P.local(LTail, Type::Ptr);
+  std::vector<StmtRef> ProStmts = {
+      P.alloc(P.locLocal(LHead)),
+      P.assign(P.locField(H, FKey), P.constInt(HeadKey)),
+      P.alloc(P.locLocal(LTail)),
+      P.assign(P.locField(T, FKey), P.constInt(TailKey)),
+      P.assign(P.locField(H, FNext), T),
+      P.assign(P.locGlobal(GHead), H),
+  };
+  for (const OpInfo &Op : PrefixPlan)
+    ProStmts.push_back(makeOp(Pro, Op, 100));
+  P.setRoot(Pro, P.seq(std::move(ProStmts)));
+
+  for (unsigned T2 = 0; T2 < W.numThreads(); ++T2) {
+    unsigned Id = P.addThread(format("ops%u", T2));
+    std::vector<StmtRef> Stmts;
+    for (const OpInfo &Op : ThreadPlans[T2])
+      Stmts.push_back(
+          makeOp(BodyId::thread(Id), Op, static_cast<int64_t>(T2) + 1));
+    P.setRoot(BodyId::thread(Id), P.seq(std::move(Stmts)));
+  }
+
+  BodyId Epi = BodyId::epilogue();
+  std::vector<StmtRef> EpiStmts;
+  for (const OpInfo &Op : SuffixPlan)
+    EpiStmts.push_back(makeOp(Epi, Op, 101));
+  EpiStmts.push_back(makeChecks());
+  P.setRoot(Epi, P.seq(std::move(EpiStmts)));
+}
+
+} // namespace
+
+std::unique_ptr<Program>
+psketch::bench::buildFineSet(const Workload &W, const FineSetOptions &O) {
+  // The pool is sized during build; pointer width needs the final size,
+  // which Program computes lazily, so the placeholder here is harmless.
+  auto P = std::make_unique<Program>(/*IntWidth=*/8, /*PoolSize=*/7);
+  FineSetBuilder B(*P, W, O);
+  B.build();
+  return P;
+}
+
+static unsigned holeIdx(const Program &P, const std::string &Name) {
+  for (size_t I = 0; I < P.holes().size(); ++I)
+    if (P.holes()[I].Name == Name)
+      return static_cast<unsigned>(I);
+  assert(false && "hole not found");
+  return 0;
+}
+
+HoleAssignment
+psketch::bench::fineSetReferenceCandidate(const Program &P,
+                                          const FineSetOptions &O) {
+  HoleAssignment H(P.holes().size(), 0);
+  auto Set = [&](const std::string &Name, uint64_t Value) {
+    H[holeIdx(P, Name)] = Value;
+  };
+  assert(O.Encoding == ReorderEncoding::Quadratic &&
+         "reference candidate provided for the quadratic encoding");
+  // Soup order: lock(cur.next); unlock(prev); [skip]; prev=cur; cur=...
+  unsigned K = O.Full ? 5 : 4;
+  for (unsigned I = 0; I < K; ++I)
+    Set(format("find.ord.order[%u]", I), I);
+  Set("find.comp1", 0); // true
+  Set("find.node1", 2); // cur.next
+  Set("find.comp2", 0); // true
+  Set("find.node2", 0); // prev
+  if (O.Full) {
+    Set("find.comp3", 1); // false: the extra lock slot is unused
+    Set("find.node3", 0);
+  }
+  return H;
+}

@@ -1,0 +1,51 @@
+//===- benchmarks/FineSet.h - Hand-over-hand locked set ---------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 8.2.3 (and Figures 5/6): a Set as a sorted singly linked list
+/// with per-node locks. The find(key) helper's traversal loop is sketched:
+/// which nodes to lock and unlock, under which conditions, and in what
+/// order relative to the pointer moves — the sliding-window
+/// (hand-over-hand) discipline must be discovered. add() and remove() are
+/// straightforward on top of find().
+///
+/// Correctness: strict sortedness (which also excludes duplicates), the
+/// tail sentinel reachable (cycle-freedom via the walk bound), every lock
+/// released, per-key conservation of successful operations, unlock-only-
+/// what-you-own asserts, memory safety and deadlock freedom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCHMARKS_FINESET_H
+#define PSKETCH_BENCHMARKS_FINESET_H
+
+#include "benchmarks/Workload.h"
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace psketch {
+namespace bench {
+
+struct FineSetOptions {
+  bool Full = false; ///< fineset2: wider generators + a third lock slot
+  ir::ReorderEncoding Encoding = ir::ReorderEncoding::Quadratic;
+};
+
+/// Builds the fine-locked set benchmark for workload \p W (ops 'a'/'r').
+std::unique_ptr<ir::Program> buildFineSet(const Workload &W,
+                                          const FineSetOptions &O);
+
+/// The hand-over-hand reference: lock(cur.next); unlock(prev); advance.
+ir::HoleAssignment fineSetReferenceCandidate(const ir::Program &P,
+                                             const FineSetOptions &O);
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCHMARKS_FINESET_H

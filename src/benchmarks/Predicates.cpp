@@ -1,0 +1,50 @@
+//===- benchmarks/Predicates.cpp -------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Predicates.h"
+
+using namespace psketch;
+using namespace psketch::bench;
+using namespace psketch::ir;
+
+PredicateHoles PredicateHoles::make(Program &P, const std::string &Name,
+                                    unsigned ConstRange) {
+  PredicateHoles H;
+  H.Form = P.addHole(Name + ".form", NumForms);
+  H.Const = P.addHole(Name + ".k", ConstRange);
+  return H;
+}
+
+ExprRef PredicateHoles::at(Program &P, ExprRef A, ExprRef B, ExprRef C,
+                           ExprRef D) const {
+  ExprRef K = P.holeValue(Const);
+  return P.choiceOf(Form, {
+                              P.eq(A, B),
+                              P.ne(A, B),
+                              P.eq(A, K),
+                              P.ne(A, K),
+                              P.eq(B, K),
+                              P.ne(B, K),
+                              C,
+                              P.lnot(C),
+                              D,
+                              P.lnot(D),
+                              P.constBool(true),
+                              P.constBool(false),
+                          });
+}
+
+SmallPredicateHoles SmallPredicateHoles::make(Program &P,
+                                              const std::string &Name) {
+  SmallPredicateHoles H;
+  H.Form = P.addHole(Name + ".form", 4);
+  return H;
+}
+
+ExprRef SmallPredicateHoles::at(Program &P, ExprRef C) const {
+  return P.choiceOf(Form,
+                    {C, P.lnot(C), P.constBool(true), P.constBool(false)});
+}

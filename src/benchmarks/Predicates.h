@@ -1,0 +1,59 @@
+//===- benchmarks/Predicates.h - Shared predicate generators ----*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's generator function (Section 8.2.2)
+///
+///   boolean predicate (a, b, c, d) { return {| (!)? (a==b | (a|b)==?? | c
+///   | d) |}; }
+///
+/// as a reusable helper: the form selector and the constant hole are
+/// created once, and each call site instantiates the alternatives over its
+/// own expressions — so one synthesized predicate serves every thread and
+/// every round.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCHMARKS_PREDICATES_H
+#define PSKETCH_BENCHMARKS_PREDICATES_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace psketch {
+namespace bench {
+
+/// A predicate generator's holes: a form selector plus a small constant.
+struct PredicateHoles {
+  unsigned Form = 0;  ///< selector over the 12 forms below
+  unsigned Const = 0; ///< the ?? constant
+
+  static const unsigned NumForms = 12;
+
+  /// Creates the holes. \p ConstRange bounds the ?? constant ([0, range)).
+  static PredicateHoles make(ir::Program &P, const std::string &Name,
+                             unsigned ConstRange);
+
+  /// Instantiates `predicate(a, b, c, d)` at a call site. Forms:
+  /// a==b, a!=b, a==K, a!=K, b==K, b!=K, c, !c, d, !d, true, false.
+  ir::ExprRef at(ir::Program &P, ir::ExprRef A, ir::ExprRef B, ir::ExprRef C,
+                 ir::ExprRef D) const;
+};
+
+/// A reduced, 4-form boolean generator: {| c | !c | true | false |}.
+struct SmallPredicateHoles {
+  unsigned Form = 0;
+
+  static SmallPredicateHoles make(ir::Program &P, const std::string &Name);
+  ir::ExprRef at(ir::Program &P, ir::ExprRef C) const;
+};
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCHMARKS_PREDICATES_H

@@ -1,0 +1,387 @@
+//===- benchmarks/Queue.cpp ------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Queue.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::bench;
+using namespace psketch::ir;
+
+namespace {
+
+/// Builds one queue benchmark program.
+class QueueBuilder {
+public:
+  QueueBuilder(Program &P, const Workload &W, const QueueOptions &O)
+      : P(P), W(W), O(O) {}
+
+  void build();
+
+private:
+  Program &P;
+  const Workload &W;
+  const QueueOptions &O;
+
+  // Record layout.
+  unsigned FNext = 0, FStored = 0, FTaken = 0;
+  // Globals.
+  unsigned GPrevHead = 0, GTail = 0, GRes = 0, GInQ = 0;
+
+  // Shared sketch holes (one Enqueue/Dequeue method, many call sites).
+  unsigned HFixLoc = 0, HFixVal = 0;                      // queueE1
+  std::vector<unsigned> HEnqOrd;                          // queueE2
+  unsigned HALoc = 0, HAVal = 0, HBLoc = 0, HBVal = 0;    // queueE2
+  unsigned HCExpr = 0, HCVal = 0, HCLoc = 0, HCVal2 = 0;  // queueE2
+  std::vector<unsigned> HDeqOrd;                          // queueDE*
+  unsigned HTmp = 0, HAdv = 0;                            // queueDE*
+
+  unsigned NumEnq = 0, NumDeq = 0;
+  unsigned SiteCounter = 0;
+
+  // Static op bookkeeping for the sequential-consistency checks.
+  struct EnqInfo {
+    int Ctx;      // -1 prologue, -2 epilogue, else thread
+    unsigned Seq; // per-context enqueue ordinal
+  };
+  std::vector<EnqInfo> EnqOf; // index = value (1-based; [0] unused)
+  struct DeqInfo {
+    int Ctx;
+    unsigned Seq;
+  };
+  std::vector<DeqInfo> DeqOf; // index = result slot
+
+  void declare();
+  void makeHoles();
+  StmtRef makeOps(BodyId B, int Ctx, const std::vector<char> &Ops,
+                  unsigned &NextValue, unsigned &NextSlot);
+  StmtRef makeEnqueue(BodyId B, int64_t Value);
+  StmtRef makeDequeue(BodyId B, unsigned Slot);
+  StmtRef makeChecks();
+};
+
+void QueueBuilder::declare() {
+  FNext = P.addField("next", Type::Ptr);
+  FStored = P.addField("stored", Type::Int);
+  FTaken = P.addField("taken", Type::Int);
+  GPrevHead = P.addGlobal("prevHead", Type::Ptr, 0);
+  GTail = P.addGlobal("tail", Type::Ptr, 0);
+  NumEnq = W.countOp('e');
+  NumDeq = W.countOp('d');
+  GRes = P.addGlobalArray("res", Type::Int, std::max(NumDeq, 1u), 0);
+  GInQ = P.addGlobalArray("inq", Type::Int, NumEnq + 1, 0);
+  P.setPoolSize(NumEnq + 1);
+  EnqOf.resize(NumEnq + 1);
+  DeqOf.resize(NumDeq);
+}
+
+void QueueBuilder::makeHoles() {
+  if (!O.FullEnqueue) {
+    HFixLoc = P.addHole("enq.fixLoc", 2);
+    HFixVal = P.addHole("enq.fixVal", 2);
+  } else {
+    HEnqOrd = P.makeReorderHoles("enq.ord", 3, O.Encoding);
+    HALoc = P.addHole("enq.aLoc", 4);
+    HAVal = P.addHole("enq.aVal", 7);
+    HBLoc = P.addHole("enq.bLoc", 4);
+    HBVal = P.addHole("enq.bVal", 7);
+    HCExpr = P.addHole("enq.cExpr", 3);
+    HCVal = P.addHole("enq.cVal", 7);
+    HCLoc = P.addHole("enq.cLoc", 4);
+    HCVal2 = P.addHole("enq.cVal2", 7);
+  }
+  if (O.SketchDequeue) {
+    HDeqOrd = P.makeReorderHoles("deq.ord", 4, O.Encoding);
+    HTmp = P.addHole("deq.tmp", 3);
+    HAdv = P.addHole("deq.adv", 4);
+  }
+}
+
+StmtRef QueueBuilder::makeEnqueue(BodyId B, int64_t Value) {
+  unsigned Site = SiteCounter++;
+  unsigned LNew =
+      P.addLocal(B, format("newEntry%u", Site), Type::Ptr, 0);
+  unsigned LTmp = P.addLocal(B, format("tmp%u", Site), Type::Ptr, 0);
+  ExprRef NewE = P.local(LNew, Type::Ptr);
+  ExprRef Tmp = P.local(LTmp, Type::Ptr);
+
+  std::vector<StmtRef> Init = {
+      P.alloc(P.locLocal(LNew)),
+      P.assign(P.locField(NewE, FStored), P.constInt(Value)),
+  };
+
+  if (!O.FullEnqueue) {
+    // queueE1: tmp = AtomicSwap(tail, newEntry);
+    //          {| tmp.next | tail.next |} = {| newEntry | tmp |};
+    Init.push_back(
+        P.swap("", P.locLocal(LTmp), {P.locGlobal(GTail)}, NewE));
+    Init.push_back(P.choiceAssignOf(
+        HFixLoc, {P.locField(Tmp, FNext), P.locField(P.global(GTail), FNext)},
+        P.choiceOf(HFixVal, {NewE, Tmp})));
+    return P.seq(std::move(Init));
+  }
+
+  // queueE2: the full Figure 1 sketch. aLocation / aValue generators are
+  // rebuilt per call site over this site's locals, sharing the holes.
+  auto Locs = [&]() {
+    return std::vector<Loc>{
+        P.locGlobal(GTail), P.locField(P.global(GTail), FNext),
+        P.locField(Tmp, FNext), P.locField(NewE, FNext)};
+  };
+  auto Vals = [&]() {
+    return std::vector<ExprRef>{
+        P.global(GTail), P.field(P.global(GTail), FNext),
+        Tmp,             P.field(Tmp, FNext),
+        NewE,            P.field(NewE, FNext),
+        P.null()};
+  };
+
+  StmtRef A = P.choiceAssignOf(HALoc, Locs(), P.choiceOf(HAVal, Vals()));
+  StmtRef Bst =
+      P.swapOf(HBLoc, P.locLocal(LTmp), Locs(), P.choiceOf(HBVal, Vals()));
+  ExprRef CVal = P.choiceOf(HCVal, Vals());
+  ExprRef CCond = P.choiceOf(
+      HCExpr, {P.eq(Tmp, CVal), P.ne(Tmp, CVal), P.constBool(false)});
+  StmtRef C =
+      P.ifS(CCond, P.choiceAssignOf(HCLoc, Locs(), P.choiceOf(HCVal2, Vals())));
+  Init.push_back(P.reorderOf(HEnqOrd, {A, Bst, C}, O.Encoding));
+  return P.seq(std::move(Init));
+}
+
+StmtRef QueueBuilder::makeDequeue(BodyId B, unsigned Slot) {
+  unsigned Site = SiteCounter++;
+  unsigned LTmp = P.addLocal(B, format("dtmp%u", Site), Type::Ptr, 0);
+  unsigned LTaken = P.addLocal(B, format("dtaken%u", Site), Type::Int, 1);
+  unsigned LDone = P.addLocal(B, format("ddone%u", Site), Type::Bool, 0);
+  unsigned LNull = P.addLocal(B, format("dnull%u", Site), Type::Bool, 0);
+  ExprRef Tmp = P.local(LTmp, Type::Ptr);
+  ExprRef TakenL = P.local(LTaken, Type::Int);
+  ExprRef Done = P.local(LDone, Type::Bool);
+  ExprRef IsNull = P.local(LNull, Type::Bool);
+  ExprRef PrevHead = P.global(GPrevHead);
+
+  // The soup of statements of the Section 8 single-while-loop Dequeue.
+  StmtRef S1, S2, S3, S4;
+  {
+    std::vector<ExprRef> TmpChoices = {
+        PrevHead, P.field(PrevHead, FNext),
+        P.field(P.field(PrevHead, FNext), FNext)};
+    std::vector<ExprRef> AdvChoices = {Tmp, P.field(Tmp, FNext), PrevHead,
+                                       P.field(PrevHead, FNext)};
+    ExprRef TmpPick = O.SketchDequeue ? P.choiceOf(HTmp, TmpChoices)
+                                      : TmpChoices[1]; // prevHead.next
+    ExprRef AdvPick =
+        O.SketchDequeue ? P.choiceOf(HAdv, AdvChoices) : AdvChoices[0]; // tmp
+    S1 = P.assign(P.locLocal(LTmp), TmpPick);
+    S2 = P.ifS(P.eq(Tmp, P.null()),
+               P.seq({P.assign(P.locLocal(LDone), P.constBool(true)),
+                      P.assign(P.locLocal(LNull), P.constBool(true))}));
+    S3 = P.ifS(P.lnot(Done), P.assign(P.locGlobal(GPrevHead), AdvPick));
+    S4 = P.ifS(P.lnot(Done),
+               P.ifS(P.eq(P.field(Tmp, FTaken), P.constInt(0)),
+                     P.swap("", P.locLocal(LTaken),
+                            {P.locField(Tmp, FTaken)}, P.constInt(1))));
+  }
+
+  StmtRef LoopBody =
+      O.SketchDequeue
+          ? P.reorderOf(HDeqOrd, {S1, S2, S3, S4}, O.Encoding)
+          : P.seq({S1, S2, S4, S3}); // the reference resolution
+  StmtRef Loop =
+      P.whileS(P.land(P.eq(TakenL, P.constInt(1)), P.lnot(Done)), LoopBody,
+               P.poolSize() + 1);
+  StmtRef Record = P.assign(
+      P.locGlobalAt(GRes, P.constInt(Slot)),
+      P.ite(IsNull, P.constInt(0), P.field(Tmp, FStored)));
+  return P.seq({Loop, Record});
+}
+
+StmtRef QueueBuilder::makeOps(BodyId B, int Ctx, const std::vector<char> &Ops,
+                              unsigned &NextValue, unsigned &NextSlot) {
+  std::vector<StmtRef> Stmts;
+  unsigned EnqSeq = 0, DeqSeq = 0;
+  for (char Op : Ops) {
+    if (Op == 'e') {
+      unsigned Value = NextValue++;
+      EnqOf[Value] = {Ctx, EnqSeq++};
+      Stmts.push_back(makeEnqueue(B, static_cast<int64_t>(Value)));
+      continue;
+    }
+    assert(Op == 'd' && "queue workloads use only e/d ops");
+    unsigned Slot = NextSlot++;
+    DeqOf[Slot] = {Ctx, DeqSeq++};
+    Stmts.push_back(makeDequeue(B, Slot));
+  }
+  return P.seq(std::move(Stmts));
+}
+
+StmtRef QueueBuilder::makeChecks() {
+  BodyId E = BodyId::epilogue();
+  unsigned LP = P.addLocal(E, "walk", Type::Ptr, 0);
+  unsigned LSeenUnt = P.addLocal(E, "seenUntaken", Type::Bool, 0);
+  unsigned LSeenTail = P.addLocal(E, "seenTail", Type::Bool, 0);
+  ExprRef Walk = P.local(LP, Type::Ptr);
+  ExprRef SeenUnt = P.local(LSeenUnt, Type::Bool);
+  ExprRef SeenTail = P.local(LSeenTail, Type::Bool);
+  ExprRef PrevHead = P.global(GPrevHead);
+  ExprRef Tail = P.global(GTail);
+
+  std::vector<StmtRef> Checks = {
+      P.assertS(P.ne(PrevHead, P.null()), "prevHead non-null"),
+      P.assertS(P.ne(Tail, P.null()), "tail non-null"),
+      P.assertS(P.eq(P.field(PrevHead, FTaken), P.constInt(1)),
+                "prevHead.taken == 1"),
+      P.assertS(P.eq(P.field(Tail, FNext), P.null()), "tail.next == null"),
+      P.assign(P.locLocal(LP), PrevHead),
+  };
+
+  // One walk: untaken-suffix rule, tail reachability, cycle freedom (the
+  // loop bound fires on cycles), and the per-value in-queue census.
+  StmtRef WalkBody = P.seq({
+      P.ifS(P.eq(P.field(Walk, FTaken), P.constInt(0)),
+            P.seq({P.assign(P.locLocal(LSeenUnt), P.constBool(true)),
+                   P.assign(P.locGlobalAt(GInQ, P.field(Walk, FStored)),
+                            P.add(P.globalAt(GInQ, P.field(Walk, FStored)),
+                                  P.constInt(1)))}),
+            P.assertS(P.lnot(SeenUnt), "no untaken precedes taken")),
+      P.ifS(P.eq(Walk, Tail),
+            P.assign(P.locLocal(LSeenTail), P.constBool(true))),
+      P.assign(P.locLocal(LP), P.field(Walk, FNext)),
+  });
+  Checks.push_back(
+      P.whileS(P.ne(Walk, P.null()), WalkBody, P.poolSize() + 1));
+  Checks.push_back(P.assertS(SeenTail, "tail reachable from head"));
+
+  // Conservation: every enqueued value was dequeued exactly once or is
+  // still in the queue untaken.
+  for (unsigned V = 1; V <= NumEnq; ++V) {
+    ExprRef DeqCount = P.constInt(0);
+    for (unsigned Slot = 0; Slot < NumDeq; ++Slot)
+      DeqCount = P.add(
+          DeqCount, P.ite(P.eq(P.globalAt(GRes, P.constInt(Slot)),
+                               P.constInt(V)),
+                          P.constInt(1), P.constInt(0)));
+    Checks.push_back(P.assertS(
+        P.eq(P.add(DeqCount, P.globalAt(GInQ, P.constInt(V))), P.constInt(1)),
+        format("conservation of value %u", V)));
+  }
+
+  // Bounded sequential consistency: two dequeues by one thread must see
+  // same-enqueuer values in enqueue order.
+  for (unsigned I = 0; I < NumDeq; ++I) {
+    for (unsigned J = 0; J < NumDeq; ++J) {
+      if (DeqOf[I].Ctx != DeqOf[J].Ctx || DeqOf[I].Seq >= DeqOf[J].Seq)
+        continue;
+      for (unsigned V1 = 1; V1 <= NumEnq; ++V1)
+        for (unsigned V2 = 1; V2 <= NumEnq; ++V2) {
+          if (EnqOf[V1].Ctx != EnqOf[V2].Ctx || EnqOf[V1].Seq <= EnqOf[V2].Seq)
+            continue;
+          // V1 was enqueued after V2 by the same thread: the earlier
+          // dequeue (slot I) must not see V1 if the later (J) sees V2.
+          Checks.push_back(P.assertS(
+              P.lnot(P.land(
+                  P.eq(P.globalAt(GRes, P.constInt(I)), P.constInt(V1)),
+                  P.eq(P.globalAt(GRes, P.constInt(J)), P.constInt(V2)))),
+              format("sequential consistency res[%u],res[%u] vs %u,%u", I, J,
+                     V1, V2)));
+        }
+    }
+  }
+  return P.seq(std::move(Checks));
+}
+
+void QueueBuilder::build() {
+  declare();
+  makeHoles();
+
+  // Prologue: allocate the dummy node, then run the prefix ops.
+  BodyId Pro = BodyId::prologue();
+  unsigned LDummy = P.addLocal(Pro, "dummy", Type::Ptr, 0);
+  ExprRef Dummy = P.local(LDummy, Type::Ptr);
+  std::vector<StmtRef> ProStmts = {
+      P.alloc(P.locLocal(LDummy)),
+      P.assign(P.locField(Dummy, FTaken), P.constInt(1)),
+      P.assign(P.locGlobal(GPrevHead), Dummy),
+      P.assign(P.locGlobal(GTail), Dummy),
+  };
+
+  unsigned NextValue = 1, NextSlot = 0;
+  ProStmts.push_back(makeOps(Pro, -1, W.PrefixOps, NextValue, NextSlot));
+  P.setRoot(Pro, P.seq(std::move(ProStmts)));
+
+  for (unsigned T = 0; T < W.numThreads(); ++T) {
+    unsigned Id = P.addThread(format("ops%u", T));
+    P.setRoot(BodyId::thread(Id),
+              makeOps(BodyId::thread(Id), static_cast<int>(T),
+                      W.ThreadOps[T], NextValue, NextSlot));
+  }
+
+  BodyId Epi = BodyId::epilogue();
+  StmtRef Suffix = makeOps(Epi, -2, W.SuffixOps, NextValue, NextSlot);
+  P.setRoot(Epi, P.seq({Suffix, makeChecks()}));
+}
+
+} // namespace
+
+std::unique_ptr<Program> psketch::bench::buildQueue(const Workload &W,
+                                                    const QueueOptions &O) {
+  auto P = std::make_unique<Program>(/*IntWidth=*/8, /*PoolSize=*/7);
+  QueueBuilder B(*P, W, O);
+  B.build();
+  return P;
+}
+
+static unsigned holeByName(const Program &P, const std::string &Name) {
+  for (size_t I = 0; I < P.holes().size(); ++I)
+    if (P.holes()[I].Name == Name)
+      return static_cast<unsigned>(I);
+  assert(false && "hole not found");
+  return 0;
+}
+
+HoleAssignment psketch::bench::queueReferenceCandidate(const Program &P,
+                                                       const QueueOptions &O) {
+  HoleAssignment H(P.holes().size(), 0);
+  auto Set = [&](const std::string &Name, uint64_t Value) {
+    H[holeByName(P, Name)] = Value;
+  };
+  if (!O.FullEnqueue) {
+    Set("enq.fixLoc", 0); // tmp.next
+    Set("enq.fixVal", 0); // newEntry
+  } else {
+    if (O.Encoding == ReorderEncoding::Quadratic) {
+      Set("enq.ord.order[0]", 1); // swap first
+      Set("enq.ord.order[1]", 0); // then the fixup assignment
+      Set("enq.ord.order[2]", 2); // the optional statement last
+    } else {
+      Set("enq.ord.ins[1]", 0); // B before A
+      Set("enq.ord.ins[2]", 3); // C last
+    }
+    Set("enq.bLoc", 0);  // tail
+    Set("enq.bVal", 4);  // newEntry
+    Set("enq.aLoc", 2);  // tmp.next
+    Set("enq.aVal", 4);  // newEntry
+    Set("enq.cExpr", 2); // false: the fixup is optimized away
+  }
+  if (O.SketchDequeue) {
+    if (O.Encoding == ReorderEncoding::Quadratic) {
+      Set("deq.ord.order[0]", 0); // tmp = ...
+      Set("deq.ord.order[1]", 1); // null check
+      Set("deq.ord.order[2]", 3); // taken swap
+      Set("deq.ord.order[3]", 2); // advance prevHead
+    } else {
+      Set("deq.ord.ins[1]", 1);
+      Set("deq.ord.ins[2]", 3);
+      Set("deq.ord.ins[3]", 6);
+    }
+    Set("deq.tmp", 1); // prevHead.next
+    Set("deq.adv", 0); // tmp
+  }
+  return H;
+}

@@ -1,0 +1,63 @@
+//===- benchmarks/Queue.h - The lock-free queue benchmarks ------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sections 2 and 8.2.1: the AtomicSwap-based lock-free FIFO queue.
+///
+///  * queueE1 — restricted Enqueue sketch (|C| = 4): the swap is fixed to
+///    `tmp = AtomicSwap(tail, newEntry)`, and the fixup assignment chooses
+///    both its location and value.
+///  * queueE2 — the full Figure 1 Enqueue: a reorder soup of an
+///    assignment, a swap and an optional guarded fixup, over the
+///    aLocation/aValue generators (|C| about 2.8e6).
+///  * queueDE1/queueDE2 — add the Section 8 single-while-loop Dequeue
+///    sketch (tmp selection, prevHead advancement and the taken-test swap
+///    inside one reorder).
+///
+/// Correctness (Section 8.2.1): bounded sequential consistency (per
+/// enqueuer FIFO order, checked over same-thread dequeue pairs) and
+/// structural integrity — head/tail non-null, prevHead.taken == 1, tail
+/// reachable, tail.next == null, no cycles, no untaken node precedes a
+/// taken one, plus value conservation (every enqueued value is either
+/// dequeued exactly once or still in the queue untaken). Memory safety,
+/// pool bounds, loop bounds and deadlock freedom are implicit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCHMARKS_QUEUE_H
+#define PSKETCH_BENCHMARKS_QUEUE_H
+
+#include "benchmarks/Workload.h"
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace psketch {
+namespace bench {
+
+/// Which queue benchmark variant to build.
+struct QueueOptions {
+  bool FullEnqueue = false;   ///< queueE2/queueDE2 (Figure 1 sketch)
+  bool SketchDequeue = false; ///< queueDE* (sketched single-loop Dequeue)
+  ir::ReorderEncoding Encoding = ir::ReorderEncoding::Quadratic;
+};
+
+/// Builds the queue benchmark program for \p W.
+std::unique_ptr<ir::Program> buildQueue(const Workload &W,
+                                        const QueueOptions &O);
+
+/// \returns a hole assignment that resolves the sketch to the known
+/// reference implementation (Figure 2's Enqueue; the taken-swap Dequeue).
+/// Used by tests to validate the specification itself.
+ir::HoleAssignment queueReferenceCandidate(const ir::Program &P,
+                                           const QueueOptions &O);
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCHMARKS_QUEUE_H

@@ -1,0 +1,263 @@
+//===- benchmarks/Stack.cpp ------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Stack.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::bench;
+using namespace psketch::ir;
+
+namespace {
+
+class StackBuilder {
+public:
+  StackBuilder(Program &P, const Workload &W, const StackOptions &O)
+      : P(P), W(W), O(O) {}
+
+  void build();
+
+private:
+  Program &P;
+  const Workload &W;
+  const StackOptions &O;
+
+  unsigned FVal = 0, FNext = 0;
+  unsigned GTop = 0, GRes = 0, GInStack = 0;
+  unsigned NumPush = 0, NumPop = 0;
+  unsigned Site = 0;
+
+  // push() sketch holes.
+  std::vector<unsigned> HPushOrd; // link vs CAS order (2 stmts)
+  unsigned HLinkLoc = 0;          // {n.next, t.next}
+  unsigned HLinkVal = 0;          // {t, n, top}
+  unsigned HCasLoc = 0;           // {top, n.next}
+  unsigned HCasNew = 0;           // {n, t, n.next}
+  // pop() sketch holes.
+  unsigned HSucc = 0;   // {t.next, top.next}
+  unsigned HPopNew = 0; // {nx, t.next, t}
+
+  struct OpInfo {
+    char Op;
+    int64_t Value; // pushed value, or 0
+    unsigned Slot; // pop result slot
+  };
+  std::vector<std::vector<OpInfo>> ThreadPlans;
+  std::vector<OpInfo> PrefixPlan, SuffixPlan;
+
+  void plan();
+  StmtRef makePush(BodyId B, int64_t Value);
+  StmtRef makePop(BodyId B, unsigned Slot);
+  StmtRef makeChecks();
+
+  /// `Flag = CAS(loc-by-HoleId-choice, Old, New)`: each location choice
+  /// becomes its own statically guarded atomic CAS.
+  StmtRef casOnChoice(unsigned LocHole, const std::vector<Loc> &Targets,
+                      ExprRef Old, ExprRef New, Loc Flag) {
+    std::vector<StmtRef> Arms;
+    for (size_t J = 0; J < Targets.size(); ++J)
+      Arms.push_back(P.ifS(P.eq(P.holeValue(LocHole),
+                                P.constInt(static_cast<int64_t>(J))),
+                           P.casFlag(Targets[J], Old, New, Flag)));
+    return P.seq(std::move(Arms));
+  }
+};
+
+void StackBuilder::plan() {
+  unsigned Slot = 0;
+  int64_t NextValue = 1;
+  auto PlanOps = [&](const std::vector<char> &Ops,
+                     std::vector<OpInfo> &Out) {
+    for (char Op : Ops) {
+      assert((Op == 'p' || Op == 'o') && "stack workloads use p/o ops");
+      if (Op == 'p')
+        Out.push_back(OpInfo{'p', NextValue++, 0});
+      else
+        Out.push_back(OpInfo{'o', 0, Slot++});
+    }
+  };
+  PlanOps(W.PrefixOps, PrefixPlan);
+  ThreadPlans.resize(W.numThreads());
+  for (unsigned T = 0; T < W.numThreads(); ++T)
+    PlanOps(W.ThreadOps[T], ThreadPlans[T]);
+  PlanOps(W.SuffixOps, SuffixPlan);
+  NumPush = static_cast<unsigned>(NextValue - 1);
+  NumPop = Slot;
+
+  GRes = P.addGlobalArray("res", Type::Int, std::max(NumPop, 1u), 0);
+  GInStack = P.addGlobalArray("instack", Type::Int, NumPush + 1, 0);
+  P.setPoolSize(NumPush);
+}
+
+StmtRef StackBuilder::makePush(BodyId B, int64_t Value) {
+  unsigned Id = Site++;
+  unsigned LN = P.addLocal(B, format("n%u", Id), Type::Ptr, 0);
+  unsigned LT = P.addLocal(B, format("t%u", Id), Type::Ptr, 0);
+  unsigned LDone = P.addLocal(B, format("pdone%u", Id), Type::Bool, 0);
+  ExprRef N = P.local(LN, Type::Ptr);
+  ExprRef T = P.local(LT, Type::Ptr);
+  ExprRef Done = P.local(LDone, Type::Bool);
+  ExprRef Top = P.global(GTop);
+
+  // The link statement: {| n.next | t.next |} = {| t | n | top |}.
+  StmtRef Link = P.choiceAssignOf(
+      HLinkLoc, {P.locField(N, FNext), P.locField(T, FNext)},
+      P.choiceOf(HLinkVal, {T, N, Top}));
+  // The publish: done = CAS({| top | n.next |}, t, {| n | t | n.next |}).
+  StmtRef Publish = casOnChoice(
+      HCasLoc, {P.locGlobal(GTop), P.locField(N, FNext)}, T,
+      P.choiceOf(HCasNew, {N, T, P.field(N, FNext)}), P.locLocal(LDone));
+
+  StmtRef Body = P.seq(
+      {P.assign(P.locLocal(LT), Top),
+       P.reorderOf(HPushOrd, {Link, Publish}, O.Encoding)});
+  return P.seq(
+      {P.alloc(P.locLocal(LN)),
+       P.assign(P.locField(N, FVal), P.constInt(Value)),
+       P.whileS(P.lnot(Done), Body, O.Retries)});
+}
+
+StmtRef StackBuilder::makePop(BodyId B, unsigned Slot) {
+  unsigned Id = Site++;
+  unsigned LT = P.addLocal(B, format("t%u", Id), Type::Ptr, 0);
+  unsigned LNx = P.addLocal(B, format("nx%u", Id), Type::Ptr, 0);
+  unsigned LDone = P.addLocal(B, format("odone%u", Id), Type::Bool, 0);
+  unsigned LNull = P.addLocal(B, format("onull%u", Id), Type::Bool, 0);
+  ExprRef T = P.local(LT, Type::Ptr);
+  ExprRef Nx = P.local(LNx, Type::Ptr);
+  ExprRef Done = P.local(LDone, Type::Bool);
+  ExprRef IsNull = P.local(LNull, Type::Bool);
+  ExprRef Top = P.global(GTop);
+
+  StmtRef Body = P.seq({
+      P.assign(P.locLocal(LT), Top),
+      P.ifS(P.eq(T, P.null()),
+            P.seq({P.assign(P.locLocal(LDone), P.constBool(true)),
+                   P.assign(P.locLocal(LNull), P.constBool(true))})),
+      P.ifS(P.lnot(Done),
+            P.seq({P.assign(P.locLocal(LNx),
+                            P.choiceOf(HSucc, {P.field(T, FNext),
+                                               P.field(Top, FNext)})),
+                   P.casFlag(P.locGlobal(GTop), T,
+                             P.choiceOf(HPopNew,
+                                        {Nx, P.field(T, FNext), T}),
+                             P.locLocal(LDone))})),
+  });
+  return P.seq(
+      {P.whileS(P.lnot(Done), Body, O.Retries),
+       P.assign(P.locGlobalAt(GRes, P.constInt(Slot)),
+                P.ite(IsNull, P.constInt(0), P.field(T, FVal)))});
+}
+
+StmtRef StackBuilder::makeChecks() {
+  BodyId E = BodyId::epilogue();
+  unsigned LP = P.addLocal(E, "walk", Type::Ptr, 0);
+  ExprRef Walk = P.local(LP, Type::Ptr);
+
+  std::vector<StmtRef> Checks = {P.assign(P.locLocal(LP), P.global(GTop))};
+  // Walk the stack: the loop bound flags cycles; census per value.
+  Checks.push_back(P.whileS(
+      P.ne(Walk, P.null()),
+      P.seq({P.assign(P.locGlobalAt(GInStack, P.field(Walk, FVal)),
+                      P.add(P.globalAt(GInStack, P.field(Walk, FVal)),
+                            P.constInt(1))),
+             P.assign(P.locLocal(LP), P.field(Walk, FNext))}),
+      P.poolSize() + 1));
+
+  for (unsigned V = 1; V <= NumPush; ++V) {
+    ExprRef PopCount = P.constInt(0);
+    for (unsigned Slot = 0; Slot < NumPop; ++Slot)
+      PopCount = P.add(
+          PopCount,
+          P.ite(P.eq(P.globalAt(GRes, P.constInt(Slot)), P.constInt(V)),
+                P.constInt(1), P.constInt(0)));
+    Checks.push_back(P.assertS(
+        P.eq(P.add(PopCount, P.globalAt(GInStack, P.constInt(V))),
+             P.constInt(1)),
+        format("conservation of value %u", V)));
+  }
+  return P.seq(std::move(Checks));
+}
+
+void StackBuilder::build() {
+  FVal = P.addField("val", Type::Int);
+  FNext = P.addField("next", Type::Ptr);
+  GTop = P.addGlobal("top", Type::Ptr, 0);
+  plan();
+
+  HPushOrd = P.makeReorderHoles("push.ord", 2, O.Encoding);
+  HLinkLoc = P.addHole("push.linkLoc", 2);
+  HLinkVal = P.addHole("push.linkVal", 3);
+  HCasLoc = P.addHole("push.casLoc", 2);
+  HCasNew = P.addHole("push.casNew", 3);
+  HSucc = P.addHole("pop.succ", 2);
+  HPopNew = P.addHole("pop.casNew", 3);
+
+  BodyId Pro = BodyId::prologue();
+  std::vector<StmtRef> ProStmts;
+  for (const OpInfo &Op : PrefixPlan)
+    ProStmts.push_back(Op.Op == 'p' ? makePush(Pro, Op.Value)
+                                    : makePop(Pro, Op.Slot));
+  P.setRoot(Pro, P.seq(std::move(ProStmts)));
+
+  for (unsigned T = 0; T < W.numThreads(); ++T) {
+    unsigned Id = P.addThread(format("ops%u", T));
+    std::vector<StmtRef> Stmts;
+    for (const OpInfo &Op : ThreadPlans[T])
+      Stmts.push_back(Op.Op == 'p' ? makePush(BodyId::thread(Id), Op.Value)
+                                   : makePop(BodyId::thread(Id), Op.Slot));
+    P.setRoot(BodyId::thread(Id), P.seq(std::move(Stmts)));
+  }
+
+  BodyId Epi = BodyId::epilogue();
+  std::vector<StmtRef> EpiStmts;
+  for (const OpInfo &Op : SuffixPlan)
+    EpiStmts.push_back(Op.Op == 'p' ? makePush(Epi, Op.Value)
+                                    : makePop(Epi, Op.Slot));
+  EpiStmts.push_back(makeChecks());
+  P.setRoot(Epi, P.seq(std::move(EpiStmts)));
+}
+
+} // namespace
+
+std::unique_ptr<Program> psketch::bench::buildStack(const Workload &W,
+                                                    const StackOptions &O) {
+  auto P = std::make_unique<Program>(/*IntWidth=*/8, /*PoolSize=*/7);
+  StackBuilder B(*P, W, O);
+  B.build();
+  return P;
+}
+
+static unsigned holeIdx(const Program &P, const std::string &Name) {
+  for (size_t I = 0; I < P.holes().size(); ++I)
+    if (P.holes()[I].Name == Name)
+      return static_cast<unsigned>(I);
+  assert(false && "hole not found");
+  return 0;
+}
+
+HoleAssignment
+psketch::bench::stackReferenceCandidate(const Program &P,
+                                        const StackOptions &O) {
+  HoleAssignment H(P.holes().size(), 0);
+  auto Set = [&](const std::string &Name, uint64_t Value) {
+    H[holeIdx(P, Name)] = Value;
+  };
+  assert(O.Encoding == ReorderEncoding::Quadratic &&
+         "reference candidate provided for the quadratic encoding");
+  Set("push.ord.order[0]", 0); // link first,
+  Set("push.ord.order[1]", 1); // then publish
+  Set("push.linkLoc", 0);      // n.next
+  Set("push.linkVal", 0);      // = t
+  Set("push.casLoc", 0);       // CAS on top
+  Set("push.casNew", 0);       // -> n
+  Set("pop.succ", 0);          // nx = t.next
+  Set("pop.casNew", 0);        // top: t -> nx
+  return H;
+}

@@ -1,0 +1,58 @@
+//===- benchmarks/Stack.h - Treiber stack (extension) -----------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An extension benchmark beyond the paper's Figure 9 suite, exercising
+/// the CAS primitive of Section 4.1 (the paper sketches CAS generators
+/// over a doubly-linked structure but omits that benchmark "here"): the
+/// Treiber lock-free stack. push() links a fresh node and publishes it
+/// with a CAS retry loop; pop() reads the top, selects its successor and
+/// CASes it out. The sketch leaves open the link target/value generators,
+/// the link/CAS ordering, the CAS location and the CAS new-value — the
+/// classic mistakes (publish before linking, CAS on the wrong cell, ABA-
+/// adjacent value mixups) are all in the space.
+///
+/// Correctness: stack integrity (top chain reaches null within the pool
+/// bound, i.e. no cycles), value conservation (every pushed value is
+/// popped exactly once or still reachable exactly once), no duplicate
+/// pops, bounded retries (the while bound doubles as a crude progress
+/// requirement), memory safety and deadlock freedom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCHMARKS_STACK_H
+#define PSKETCH_BENCHMARKS_STACK_H
+
+#include "benchmarks/Workload.h"
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace psketch {
+namespace bench {
+
+struct StackOptions {
+  ir::ReorderEncoding Encoding = ir::ReorderEncoding::Quadratic;
+  unsigned Retries = 3; ///< CAS retry bound per operation
+};
+
+/// Builds the Treiber-stack benchmark for workload \p W; ops are 'p'
+/// (push) and 'o' (pop), e.g. "p(po|po)".
+std::unique_ptr<ir::Program> buildStack(const Workload &W,
+                                        const StackOptions &O =
+                                            StackOptions());
+
+/// The textbook Treiber resolution (link n.next = t, CAS top t -> n;
+/// pop: read successor from t.next, CAS top t -> nx).
+ir::HoleAssignment stackReferenceCandidate(const ir::Program &P,
+                                           const StackOptions &O);
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCHMARKS_STACK_H

@@ -1,0 +1,60 @@
+//===- benchmarks/Suite.h - The Figure 9 test registry ----------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every (sketch, test) row of the paper's Table 1 / Figure 9, with the
+/// paper's reported numbers attached so the bench harness can print
+/// paper-vs-measured side by side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCHMARKS_SUITE_H
+#define PSKETCH_BENCHMARKS_SUITE_H
+
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace bench {
+
+/// One Figure 9 row.
+struct SuiteEntry {
+  std::string Sketch; ///< e.g. "queueE2"
+  std::string Test;   ///< e.g. "ed(ed|ed)" or "N=3,B=2"
+
+  /// Builds the sketch program for this test.
+  std::function<std::unique_ptr<ir::Program>()> Build;
+
+  /// The known-correct resolution, when we have one (used by tests to
+  /// validate the specification; empty for the unresolvable rows).
+  std::function<ir::HoleAssignment(const ir::Program &)> Reference;
+
+  // Paper-reported values (Figure 9 / Table 1).
+  bool PaperResolvable = true;
+  unsigned PaperItns = 0;
+  double PaperTotalSeconds = 0.0;
+  double PaperLog10C = 0.0; ///< Table 1's |C| as log10
+
+  /// Rough relative cost, used to order/filter runs (1 = fast).
+  unsigned CostClass = 1;
+};
+
+/// \returns all Figure 9 rows for one sketch family ("queueE1",
+/// "queueE2", "queueDE1", "queueDE2", "barrier1", "barrier2", "fineset1",
+/// "fineset2", "lazyset", "dinphilo"), or every row for "" / "all".
+std::vector<SuiteEntry> paperSuite(const std::string &Family = "");
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCHMARKS_SUITE_H

@@ -1,0 +1,55 @@
+//===- benchmarks/Workload.cpp ---------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Workload.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::bench;
+
+unsigned Workload::countOp(char Op) const {
+  unsigned Count = 0;
+  for (char C : PrefixOps)
+    Count += C == Op;
+  for (const std::vector<char> &T : ThreadOps)
+    for (char C : T)
+      Count += C == Op;
+  for (char C : SuffixOps)
+    Count += C == Op;
+  return Count;
+}
+
+unsigned Workload::totalOps() const {
+  unsigned Count = static_cast<unsigned>(PrefixOps.size() + SuffixOps.size());
+  for (const std::vector<char> &T : ThreadOps)
+    Count += static_cast<unsigned>(T.size());
+  return Count;
+}
+
+Workload psketch::bench::parseWorkload(const std::string &Pattern) {
+  Workload W;
+  W.Pattern = Pattern;
+  size_t I = 0;
+  while (I < Pattern.size() && Pattern[I] != '(')
+    W.PrefixOps.push_back(Pattern[I++]);
+  assert(I < Pattern.size() && Pattern[I] == '(' && "pattern needs (...)");
+  ++I;
+  W.ThreadOps.emplace_back();
+  while (I < Pattern.size() && Pattern[I] != ')') {
+    if (Pattern[I] == '|') {
+      W.ThreadOps.emplace_back();
+      ++I;
+      continue;
+    }
+    W.ThreadOps.back().push_back(Pattern[I++]);
+  }
+  assert(I < Pattern.size() && Pattern[I] == ')' && "unterminated pattern");
+  ++I;
+  while (I < Pattern.size())
+    W.SuffixOps.push_back(Pattern[I++]);
+  return W;
+}

@@ -1,0 +1,47 @@
+//===- benchmarks/Workload.h - Figure 9 workload patterns -------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper labels each test with a pattern like `ed(ee|dd)` or
+/// `ar(ar|ar|ar)`: operations before the parenthesis run sequentially
+/// before the fork, each `|`-separated group runs on its own thread, and
+/// operations after the parenthesis run sequentially after the join (e.g.
+/// `(e|e|e)ddd`). This module parses those patterns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BENCHMARKS_WORKLOAD_H
+#define PSKETCH_BENCHMARKS_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace bench {
+
+/// A parsed workload pattern.
+struct Workload {
+  std::string Pattern;
+  std::vector<char> PrefixOps;               ///< sequential, pre-fork
+  std::vector<std::vector<char>> ThreadOps;  ///< one vector per thread
+  std::vector<char> SuffixOps;               ///< sequential, post-join
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(ThreadOps.size());
+  }
+  unsigned countOp(char Op) const;
+  unsigned totalOps() const;
+};
+
+/// Parses a pattern such as "ed(ed|ed)" or "(e|e|e)ddd". Aborts on
+/// malformed patterns (they are compiled into the benchmarks).
+Workload parseWorkload(const std::string &Pattern);
+
+} // namespace bench
+} // namespace psketch
+
+#endif // PSKETCH_BENCHMARKS_WORKLOAD_H

@@ -1,0 +1,179 @@
+//===- cegis/Cegis.cpp -----------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegis/Cegis.h"
+
+#include "exec/Machine.h"
+#include "ir/Printer.h"
+#include "support/MemUsage.h"
+#include "support/StrUtil.h"
+#include "support/Timer.h"
+
+using namespace psketch;
+using namespace psketch::cegis;
+using exec::Machine;
+using exec::State;
+using exec::Violation;
+
+ConcurrentCegis::ConcurrentCegis(ir::Program &P, CegisConfig Cfg)
+    : P(P), Cfg(std::move(Cfg)) {
+  WallTimer Watch;
+  FP = flat::flatten(P);
+  FlattenSeconds = Watch.seconds();
+}
+
+CegisResult ConcurrentCegis::run() {
+  WallTimer Total;
+  CegisResult R;
+  R.Stats.VmodelSeconds += FlattenSeconds;
+
+  synth::InductiveSynth Synth(FP);
+
+  for (;;) {
+    // Budget checks.
+    if (R.Stats.Iterations >= Cfg.MaxIterations ||
+        (Cfg.TimeLimitSeconds > 0.0 &&
+         Total.seconds() > Cfg.TimeLimitSeconds)) {
+      R.Stats.Aborted = true;
+      break;
+    }
+
+    // Inductive step: propose a candidate consistent with all traces.
+    ir::HoleAssignment Candidate;
+    if (!Synth.solve(Candidate)) {
+      R.Stats.Resolvable = false; // proven: no candidate satisfies the spec
+      break;
+    }
+
+    // Verification step.
+    WallTimer VModel;
+    Machine M(FP, Candidate);
+    R.Stats.VmodelSeconds += VModel.seconds();
+
+    WallTimer VSolve;
+    verify::CheckResult Check = verify::checkCandidate(M, Cfg.Checker);
+    R.Stats.VsolveSeconds += VSolve.seconds();
+    R.Stats.StatesExplored += Check.StatesExplored;
+    ++R.Stats.Iterations;
+
+    if (Check.Ok) {
+      R.Stats.Resolvable = true;
+      R.Candidate = std::move(Candidate);
+      break;
+    }
+
+    if (Cfg.Log)
+      Cfg.Log(format("iter %u: candidate failed (%s), %llu states",
+                     R.Stats.Iterations, Check.Cex->V.Label.c_str(),
+                     static_cast<unsigned long long>(Check.StatesExplored)));
+    if (Cfg.LearnFromTraces)
+      Synth.addTrace(*Check.Cex);
+    else
+      Synth.excludeCandidate(Candidate);
+  }
+
+  R.Stats.SsolveSeconds = Synth.stats().SolveSeconds;
+  R.Stats.SmodelSeconds = Synth.stats().ModelSeconds;
+  R.Stats.GateCount = Synth.stats().GateCount;
+  R.Stats.ClauseCount = Synth.stats().ClauseCount;
+  R.Stats.TotalSeconds = Total.seconds();
+  R.Stats.PeakMemoryMiB = peakRSSMiB();
+  return R;
+}
+
+std::string ConcurrentCegis::printResolved(const CegisResult &R) const {
+  if (!R.Stats.Resolvable)
+    return "<unresolvable sketch>\n";
+  ir::Printer Pr(P, &R.Candidate);
+  return Pr.program();
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential (`implements`) CEGIS.
+//===----------------------------------------------------------------------===//
+
+SequentialCegis::SequentialCegis(ir::Program &P,
+                                 std::vector<synth::GlobalOverrides> Tests,
+                                 CegisConfig Cfg)
+    : P(P), Tests(std::move(Tests)), Cfg(std::move(Cfg)) {
+  WallTimer Watch;
+  FP = flat::flatten(P);
+  FlattenSeconds = Watch.seconds();
+}
+
+CegisResult SequentialCegis::run() {
+  WallTimer Total;
+  CegisResult R;
+  R.Stats.VmodelSeconds += FlattenSeconds;
+
+  synth::InductiveSynth Synth(FP);
+
+  for (;;) {
+    if (R.Stats.Iterations >= Cfg.MaxIterations ||
+        (Cfg.TimeLimitSeconds > 0.0 &&
+         Total.seconds() > Cfg.TimeLimitSeconds)) {
+      R.Stats.Aborted = true;
+      break;
+    }
+
+    ir::HoleAssignment Candidate;
+    if (!Synth.solve(Candidate)) {
+      R.Stats.Resolvable = false;
+      break;
+    }
+
+    // Verify: run the candidate on every test input.
+    WallTimer VSolve;
+    const synth::GlobalOverrides *FailedInput = nullptr;
+    {
+      WallTimer VModel;
+      Machine M(FP, Candidate);
+      R.Stats.VmodelSeconds += VModel.seconds();
+      for (const synth::GlobalOverrides &Input : Tests) {
+        State S = M.initialState();
+        for (const auto &[Id, Value] : Input)
+          S.Globals[M.globalOffset(Id)] = P.wrap(Value, P.globals()[Id].Ty);
+        Violation V;
+        bool Ok = M.runToCompletion(S, M.prologueCtx(), V);
+        for (unsigned T = 0; Ok && T < M.numThreads(); ++T)
+          Ok = M.runToCompletion(S, T, V);
+        if (Ok)
+          Ok = M.runToCompletion(S, M.epilogueCtx(), V);
+        if (!Ok) {
+          FailedInput = &Input;
+          break;
+        }
+      }
+    }
+    R.Stats.VsolveSeconds += VSolve.seconds();
+    ++R.Stats.Iterations;
+
+    if (!FailedInput) {
+      R.Stats.Resolvable = true;
+      R.Candidate = std::move(Candidate);
+      break;
+    }
+    if (Cfg.Log)
+      Cfg.Log(format("iter %u: candidate failed on a test input",
+                     R.Stats.Iterations));
+    Synth.addInputObservation(*FailedInput);
+  }
+
+  R.Stats.SsolveSeconds = Synth.stats().SolveSeconds;
+  R.Stats.SmodelSeconds = Synth.stats().ModelSeconds;
+  R.Stats.GateCount = Synth.stats().GateCount;
+  R.Stats.ClauseCount = Synth.stats().ClauseCount;
+  R.Stats.TotalSeconds = Total.seconds();
+  R.Stats.PeakMemoryMiB = peakRSSMiB();
+  return R;
+}
+
+std::string SequentialCegis::printResolved(const CegisResult &R) const {
+  if (!R.Stats.Resolvable)
+    return "<unresolvable sketch>\n";
+  ir::Printer Pr(P, &R.Candidate);
+  return Pr.program();
+}

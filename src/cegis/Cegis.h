@@ -1,0 +1,125 @@
+//===- cegis/Cegis.h - Counterexample-guided inductive synthesis -*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CEGIS drivers (Figure 8 of the paper):
+///
+///  * ConcurrentCegis — observations are counterexample *traces* from the
+///    model checker (Section 6). Propose a candidate, model-check it over
+///    all interleavings, learn from the failing trace, repeat.
+///  * SequentialCegis — observations are counterexample *inputs*
+///    (Section 5, the original SKETCH algorithm used for `implements`
+///    specifications); verification runs the candidate on a set of
+///    concrete inputs.
+///
+/// Both report the statistics of the paper's Figure 9: Resolvable, Itns,
+/// Ssolve, Smodel, Vsolve, Vmodel, total time and peak memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_CEGIS_CEGIS_H
+#define PSKETCH_CEGIS_CEGIS_H
+
+#include "desugar/Flatten.h"
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+#include "synth/InductiveSynth.h"
+#include "verify/ModelChecker.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace cegis {
+
+/// Driver configuration.
+struct CegisConfig {
+  verify::CheckerConfig Checker;
+  unsigned MaxIterations = 1000;   ///< verifier-call budget
+  double TimeLimitSeconds = 0.0;   ///< 0 = unlimited
+  /// When false, a failing candidate is merely excluded instead of its
+  /// counterexample trace being projected and learned — the naive
+  /// generate-and-test baseline the paper's CEGIS improves on. Used by
+  /// the observation-ablation bench.
+  bool LearnFromTraces = true;
+  /// Optional progress sink (iteration summaries).
+  std::function<void(const std::string &)> Log;
+};
+
+/// The Figure 9 measurement row.
+struct CegisStats {
+  bool Resolvable = false;
+  bool Aborted = false;     ///< hit the iteration/time budget
+  unsigned Iterations = 0;  ///< verifier calls (the paper's Itns)
+  double TotalSeconds = 0.0;
+  double SsolveSeconds = 0.0; ///< SAT solving
+  double SmodelSeconds = 0.0; ///< projection + circuit/clause building
+  double VsolveSeconds = 0.0; ///< model checking / testing
+  double VmodelSeconds = 0.0; ///< flattening + per-candidate machine setup
+  double PeakMemoryMiB = 0.0;
+  uint64_t StatesExplored = 0; ///< total checker states across iterations
+  size_t GateCount = 0;
+  size_t ClauseCount = 0;
+};
+
+/// A finished run.
+struct CegisResult {
+  CegisStats Stats;
+  ir::HoleAssignment Candidate; ///< meaningful when Stats.Resolvable
+};
+
+/// CEGIS for concurrent sketches: the paper's main algorithm.
+class ConcurrentCegis {
+public:
+  /// Flattens \p P (which must outlive the driver and must not have been
+  /// flattened elsewhere).
+  explicit ConcurrentCegis(ir::Program &P, CegisConfig Cfg = CegisConfig());
+
+  /// Runs the loop to an answer (or budget exhaustion).
+  CegisResult run();
+
+  /// The flat program (for printing traces or reusing the machine).
+  const flat::FlatProgram &flatProgram() const { return FP; }
+
+  /// Renders the resolved implementation of a finished run.
+  std::string printResolved(const CegisResult &R) const;
+
+private:
+  ir::Program &P;
+  CegisConfig Cfg;
+  flat::FlatProgram FP;
+  double FlattenSeconds = 0.0;
+};
+
+/// CEGIS for sequential `implements` sketches. The caller provides the
+/// test inputs: each is a set of initial-global overrides that pins the
+/// inputs *and* the expected outputs (computed by the reference
+/// implementation); the sketch's own asserts compare them.
+class SequentialCegis {
+public:
+  SequentialCegis(ir::Program &P, std::vector<synth::GlobalOverrides> Tests,
+                  CegisConfig Cfg = CegisConfig());
+
+  CegisResult run();
+
+  const flat::FlatProgram &flatProgram() const { return FP; }
+  std::string printResolved(const CegisResult &R) const;
+
+private:
+  ir::Program &P;
+  std::vector<synth::GlobalOverrides> Tests;
+  CegisConfig Cfg;
+  flat::FlatProgram FP;
+  double FlattenSeconds = 0.0;
+};
+
+} // namespace cegis
+} // namespace psketch
+
+#endif // PSKETCH_CEGIS_CEGIS_H

@@ -1,0 +1,87 @@
+//===- circuit/BitVec.h - Symbolic bitvectors -------------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width symbolic bitvectors over the boolean gate DAG. The symbolic
+/// trace encoder represents every program value (integers, booleans, and
+/// pointers into the bounded node pool) as a BitVec; arithmetic wraps at
+/// the configured width, exactly matching the concrete interpreter's
+/// semantics so the verifier and the synthesizer can never disagree.
+///
+/// Bit order is little-endian: bit(0) is the least significant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_CIRCUIT_BITVEC_H
+#define PSKETCH_CIRCUIT_BITVEC_H
+
+#include "circuit/Graph.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace circuit {
+
+/// A width-tagged vector of gate edges.
+struct BitVec {
+  std::vector<NodeRef> Bits;
+
+  unsigned width() const { return static_cast<unsigned>(Bits.size()); }
+  NodeRef bit(unsigned I) const { return Bits[I]; }
+  bool empty() const { return Bits.empty(); }
+};
+
+/// \returns the constant \p Value truncated to \p Width bits.
+BitVec bvConst(Graph &G, unsigned Width, uint64_t Value);
+
+/// Creates \p Width fresh inputs named "<Name>[i]".
+BitVec bvInput(Graph &G, unsigned Width, const std::string &Name);
+
+/// \returns A + B mod 2^Width (widths must match).
+BitVec bvAdd(Graph &G, const BitVec &A, const BitVec &B);
+
+/// \returns A - B mod 2^Width.
+BitVec bvSub(Graph &G, const BitVec &A, const BitVec &B);
+
+/// \returns Cond ? A : B, bitwise.
+BitVec bvMux(Graph &G, NodeRef Cond, const BitVec &A, const BitVec &B);
+
+/// Bitwise connectives.
+BitVec bvAnd(Graph &G, const BitVec &A, const BitVec &B);
+BitVec bvOr(Graph &G, const BitVec &A, const BitVec &B);
+BitVec bvXor(Graph &G, const BitVec &A, const BitVec &B);
+BitVec bvNot(Graph &G, const BitVec &A);
+
+/// Equality / disequality as a single edge.
+NodeRef bvEq(Graph &G, const BitVec &A, const BitVec &B);
+NodeRef bvNe(Graph &G, const BitVec &A, const BitVec &B);
+
+/// Unsigned and signed (two's complement) comparisons.
+NodeRef bvUlt(Graph &G, const BitVec &A, const BitVec &B);
+NodeRef bvUle(Graph &G, const BitVec &A, const BitVec &B);
+NodeRef bvSlt(Graph &G, const BitVec &A, const BitVec &B);
+NodeRef bvSle(Graph &G, const BitVec &A, const BitVec &B);
+
+/// \returns the OR of all bits (the "is nonzero" test).
+NodeRef bvNonZero(Graph &G, const BitVec &A);
+
+/// \returns equality against the constant \p Value.
+NodeRef bvEqConst(Graph &G, const BitVec &A, uint64_t Value);
+
+/// Zero-extends or truncates \p A to \p Width.
+BitVec bvResize(Graph &G, const BitVec &A, unsigned Width);
+
+/// Evaluates \p A to a concrete unsigned value under \p InputValues.
+uint64_t bvEvaluate(const Graph &G, const BitVec &A,
+                    const std::vector<bool> &InputValues);
+
+} // namespace circuit
+} // namespace psketch
+
+#endif // PSKETCH_CIRCUIT_BITVEC_H

@@ -1,0 +1,87 @@
+//===- circuit/CnfBuilder.cpp ----------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "circuit/CnfBuilder.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::circuit;
+using psketch::sat::Lit;
+using psketch::sat::Var;
+using psketch::sat::VarUndef;
+
+Var CnfBuilder::varForNode(uint32_t Root) {
+  if (NodeVar.size() < G.numNodes())
+    NodeVar.resize(G.numNodes(), VarUndef);
+  if (NodeVar[Root] != VarUndef)
+    return NodeVar[Root];
+
+  // Iterative DFS over the unencoded cone (cones can be very deep: ripple
+  // adders chained across a whole projected trace).
+  std::vector<uint32_t> Stack;
+  Stack.push_back(Root);
+  while (!Stack.empty()) {
+    uint32_t Index = Stack.back();
+    if (NodeVar[Index] != VarUndef) {
+      Stack.pop_back();
+      continue;
+    }
+    NodeRef Self = NodeRef::make(Index, false);
+    if (G.isConst(Self)) {
+      Var V = S.newVar();
+      S.addClause(Lit(V, false)); // pin the constant node to TRUE
+      NodeVar[Index] = V;
+      ++Encoded;
+      Stack.pop_back();
+      continue;
+    }
+    if (G.isInput(Self)) {
+      NodeVar[Index] = S.newVar();
+      ++Encoded;
+      Stack.pop_back();
+      continue;
+    }
+    NodeRef A = G.operandA(Self);
+    NodeRef B = G.operandB(Self);
+    bool Pending = false;
+    if (NodeVar[A.node()] == VarUndef) {
+      Stack.push_back(A.node());
+      Pending = true;
+    }
+    if (NodeVar[B.node()] == VarUndef) {
+      Stack.push_back(B.node());
+      Pending = true;
+    }
+    if (Pending)
+      continue;
+
+    // Tseitin for V <-> LA & LB.
+    Var V = S.newVar();
+    Lit LV(V, false);
+    Lit LA(NodeVar[A.node()], A.negated());
+    Lit LB(NodeVar[B.node()], B.negated());
+    S.addClause(~LV, LA);
+    S.addClause(~LV, LB);
+    S.addClause(LV, ~LA, ~LB);
+    NodeVar[Index] = V;
+    ++Encoded;
+    Stack.pop_back();
+  }
+  return NodeVar[Root];
+}
+
+Lit CnfBuilder::litFor(NodeRef R) {
+  assert(R.isValid() && "encoding an invalid edge");
+  Var V = varForNode(R.node());
+  return Lit(V, R.negated());
+}
+
+void CnfBuilder::assertTrue(NodeRef R) {
+  if (R == G.getTrue())
+    return;
+  S.addClause(litFor(R));
+}

@@ -1,0 +1,394 @@
+//===- exec/Machine.cpp ----------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Machine.h"
+
+#include "ir/StaticEval.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::exec;
+using namespace psketch::ir;
+using psketch::flat::FlatBody;
+using psketch::flat::MicroOp;
+using psketch::flat::Step;
+
+Machine::Machine(const flat::FlatProgram &FP, const HoleAssignment &Holes)
+    : FP(FP), P(*FP.Source), Holes(Holes) {
+  // Flattened global layout.
+  GlobalOffsets.reserve(P.globals().size());
+  for (const Global &G : P.globals()) {
+    GlobalOffsets.push_back(NumGlobalSlots);
+    NumGlobalSlots += G.ArraySize == 0 ? 1 : G.ArraySize;
+  }
+
+  // Precompute statically dead steps for this candidate.
+  DeadStep.resize(numContexts());
+  for (unsigned Ctx = 0; Ctx < numContexts(); ++Ctx) {
+    const FlatBody &B = bodyOf(Ctx);
+    DeadStep[Ctx].resize(B.Steps.size(), 0);
+    for (size_t I = 0; I < B.Steps.size(); ++I) {
+      ExprRef Guard = B.Steps[I].StaticGuard;
+      if (!Guard)
+        continue;
+      auto Value = tryEvalStatic(P, Guard, this->Holes);
+      if (Value && *Value == 0)
+        DeadStep[Ctx][I] = 1;
+    }
+  }
+}
+
+const FlatBody &Machine::bodyOf(unsigned Ctx) const {
+  if (Ctx < FP.Threads.size())
+    return FP.Threads[Ctx];
+  if (Ctx == prologueCtx())
+    return FP.Prologue;
+  assert(Ctx == epilogueCtx() && "bad context id");
+  return FP.Epilogue;
+}
+
+const Body &Machine::irBodyOf(unsigned Ctx) const {
+  if (Ctx < FP.Threads.size())
+    return P.body(BodyId::thread(Ctx));
+  if (Ctx == prologueCtx())
+    return P.body(BodyId::prologue());
+  return P.body(BodyId::epilogue());
+}
+
+State Machine::initialState() const {
+  State S;
+  S.Globals.assign(NumGlobalSlots, 0);
+  for (size_t I = 0; I < P.globals().size(); ++I) {
+    const Global &G = P.globals()[I];
+    unsigned Count = G.ArraySize == 0 ? 1 : G.ArraySize;
+    for (unsigned J = 0; J < Count; ++J)
+      S.Globals[GlobalOffsets[I] + J] = G.Init;
+  }
+  S.Heap.assign(static_cast<size_t>(P.poolSize()) * P.fields().size(), 0);
+  S.AllocCount = 0;
+  S.Locals.resize(numContexts());
+  S.Pc.assign(numContexts(), 0);
+  for (unsigned Ctx = 0; Ctx < numContexts(); ++Ctx) {
+    const Body &B = irBodyOf(Ctx);
+    S.Locals[Ctx].reserve(B.Locals.size());
+    for (const Local &L : B.Locals)
+      S.Locals[Ctx].push_back(L.Init);
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation.
+//===----------------------------------------------------------------------===//
+
+int64_t Machine::eval(const State &S, unsigned Ctx, ExprRef E,
+                      Violation &V) const {
+  switch (E->Kind) {
+  case ExprKind::ConstInt:
+    return E->IntValue;
+  case ExprKind::GlobalRead:
+    return S.Globals[GlobalOffsets[E->Id]];
+  case ExprKind::GlobalArrayRead: {
+    int64_t Index = eval(S, Ctx, E->Ops[0], V);
+    if (V.isViolation())
+      return 0;
+    const Global &G = P.globals()[E->Id];
+    if (Index < 0 || Index >= static_cast<int64_t>(G.ArraySize)) {
+      V.VKind = Violation::Kind::MemUnsafe;
+      V.Label = "array index out of bounds: " + G.Name;
+      return 0;
+    }
+    return S.Globals[GlobalOffsets[E->Id] + static_cast<unsigned>(Index)];
+  }
+  case ExprKind::LocalRead:
+    assert(E->Id < S.Locals[Ctx].size() && "bad local slot");
+    return S.Locals[Ctx][E->Id];
+  case ExprKind::FieldRead: {
+    int64_t Ptr = eval(S, Ctx, E->Ops[0], V);
+    if (V.isViolation())
+      return 0;
+    if (Ptr < 1 || Ptr > static_cast<int64_t>(P.poolSize())) {
+      V.VKind = Violation::Kind::MemUnsafe;
+      V.Label = "null or invalid pointer dereference";
+      return 0;
+    }
+    return S.Heap[static_cast<size_t>(Ptr - 1) * P.fields().size() + E->Id];
+  }
+  case ExprKind::HoleRead:
+    assert(E->Id < Holes.size() && "unassigned hole during execution");
+    return P.wrap(static_cast<int64_t>(Holes[E->Id]), Type::Int);
+  case ExprKind::Choice: {
+    assert(E->Id < Holes.size() && "unassigned selector hole");
+    uint64_t Pick = Holes[E->Id];
+    assert(Pick < E->Ops.size() && "selector out of range");
+    return eval(S, Ctx, E->Ops[Pick], V);
+  }
+  case ExprKind::And: {
+    int64_t A = eval(S, Ctx, E->Ops[0], V);
+    if (V.isViolation() || A == 0)
+      return 0; // short-circuit: the right side is not evaluated
+    return eval(S, Ctx, E->Ops[1], V) != 0 ? 1 : 0;
+  }
+  case ExprKind::Or: {
+    int64_t A = eval(S, Ctx, E->Ops[0], V);
+    if (V.isViolation())
+      return 0;
+    if (A != 0)
+      return 1;
+    return eval(S, Ctx, E->Ops[1], V) != 0 ? 1 : 0;
+  }
+  case ExprKind::Not: {
+    int64_t A = eval(S, Ctx, E->Ops[0], V);
+    return (V.isViolation() || A != 0) ? 0 : 1;
+  }
+  case ExprKind::Ite: {
+    int64_t C = eval(S, Ctx, E->Ops[0], V);
+    if (V.isViolation())
+      return 0;
+    return eval(S, Ctx, E->Ops[C != 0 ? 1 : 2], V);
+  }
+  default:
+    break;
+  }
+  int64_t A = eval(S, Ctx, E->Ops[0], V);
+  if (V.isViolation())
+    return 0;
+  int64_t B = eval(S, Ctx, E->Ops[1], V);
+  if (V.isViolation())
+    return 0;
+  switch (E->Kind) {
+  case ExprKind::Add:
+    return P.wrap(A + B, E->Ty);
+  case ExprKind::Sub:
+    return P.wrap(A - B, E->Ty);
+  case ExprKind::Eq:
+    return A == B ? 1 : 0;
+  case ExprKind::Ne:
+    return A != B ? 1 : 0;
+  case ExprKind::Lt:
+    return A < B ? 1 : 0;
+  case ExprKind::Le:
+    return A <= B ? 1 : 0;
+  default:
+    assert(false && "unhandled expression kind");
+    return 0;
+  }
+}
+
+int64_t Machine::loadLoc(const State &S, unsigned Ctx, const Loc &L,
+                         Violation &V) const {
+  switch (L.LocKind) {
+  case Loc::Kind::Global:
+    return S.Globals[GlobalOffsets[L.Id]];
+  case Loc::Kind::Local:
+    return S.Locals[Ctx][L.Id];
+  case Loc::Kind::GlobalArray:
+  case Loc::Kind::Field:
+    break;
+  }
+  // Route through eval for the bounds checks.
+  Expr Temp(L.LocKind == Loc::Kind::Field ? ExprKind::FieldRead
+                                          : ExprKind::GlobalArrayRead);
+  Temp.Id = L.Id;
+  Temp.Ops.push_back(L.Index);
+  return eval(S, Ctx, &Temp, V);
+}
+
+void Machine::storeLoc(State &S, unsigned Ctx, const Loc &L, int64_t Value,
+                       Violation &V) const {
+  switch (L.LocKind) {
+  case Loc::Kind::Global:
+    S.Globals[GlobalOffsets[L.Id]] = P.wrap(Value, P.globals()[L.Id].Ty);
+    return;
+  case Loc::Kind::Local: {
+    Type Ty = irBodyOf(Ctx).Locals[L.Id].Ty;
+    S.Locals[Ctx][L.Id] = P.wrap(Value, Ty);
+    return;
+  }
+  case Loc::Kind::GlobalArray: {
+    int64_t Index = eval(S, Ctx, L.Index, V);
+    if (V.isViolation())
+      return;
+    const Global &G = P.globals()[L.Id];
+    if (Index < 0 || Index >= static_cast<int64_t>(G.ArraySize)) {
+      V.VKind = Violation::Kind::MemUnsafe;
+      V.Label = "array store out of bounds: " + G.Name;
+      return;
+    }
+    S.Globals[GlobalOffsets[L.Id] + static_cast<unsigned>(Index)] =
+        P.wrap(Value, G.Ty);
+    return;
+  }
+  case Loc::Kind::Field: {
+    int64_t Ptr = eval(S, Ctx, L.Index, V);
+    if (V.isViolation())
+      return;
+    if (Ptr < 1 || Ptr > static_cast<int64_t>(P.poolSize())) {
+      V.VKind = Violation::Kind::MemUnsafe;
+      V.Label = "field store through null or invalid pointer";
+      return;
+    }
+    Type Ty = P.fields()[L.Id].Ty;
+    S.Heap[static_cast<size_t>(Ptr - 1) * P.fields().size() + L.Id] =
+        P.wrap(Value, Ty);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stepping.
+//===----------------------------------------------------------------------===//
+
+uint32_t Machine::normalizePc(State &S, unsigned Ctx) const {
+  const FlatBody &B = bodyOf(Ctx);
+  uint32_t Pc = S.Pc[Ctx];
+  while (Pc < B.Steps.size() && DeadStep[Ctx][Pc])
+    ++Pc;
+  S.Pc[Ctx] = Pc;
+  return Pc;
+}
+
+bool Machine::isFinished(State &S, unsigned Ctx) const {
+  return normalizePc(S, Ctx) >= bodyOf(Ctx).Steps.size();
+}
+
+bool Machine::nextStepIsLocal(State &S, unsigned Ctx) const {
+  uint32_t Pc = normalizePc(S, Ctx);
+  const FlatBody &B = bodyOf(Ctx);
+  if (Pc >= B.Steps.size())
+    return false;
+  const Step &St = B.Steps[Pc];
+  if (!St.TouchesShared)
+    return true;
+  // A step whose dynamic guard is false executes nothing at all: it is
+  // local no matter what it would have touched.
+  if (St.DynGuard) {
+    Violation V;
+    int64_t Guard = eval(S, Ctx, St.DynGuard, V);
+    if (!V.isViolation() && Guard == 0)
+      return true;
+  }
+  return false;
+}
+
+bool Machine::execOps(State &S, unsigned Ctx, const Step &St,
+                      Violation &V) const {
+  for (const MicroOp &Op : St.Ops) {
+    if (Op.Pred) {
+      int64_t Pred = eval(S, Ctx, Op.Pred, V);
+      if (V.isViolation())
+        return false;
+      if (Pred == 0)
+        continue;
+    }
+    switch (Op.OpKind) {
+    case MicroOp::Kind::Write: {
+      int64_t Value = eval(S, Ctx, Op.Value, V);
+      if (V.isViolation())
+        return false;
+      storeLoc(S, Ctx, Op.Target, Value, V);
+      if (V.isViolation())
+        return false;
+      break;
+    }
+    case MicroOp::Kind::Assert: {
+      int64_t Cond = eval(S, Ctx, Op.Value, V);
+      if (V.isViolation())
+        return false;
+      if (Cond == 0) {
+        V.VKind = Violation::Kind::AssertFail;
+        V.Label = Op.Label;
+        return false;
+      }
+      break;
+    }
+    case MicroOp::Kind::Alloc: {
+      if (S.AllocCount >= static_cast<int64_t>(P.poolSize())) {
+        V.VKind = Violation::Kind::PoolExhausted;
+        V.Label = "node pool exhausted";
+        return false;
+      }
+      int64_t NewNode = S.AllocCount + 1;
+      S.AllocCount = NewNode;
+      storeLoc(S, Ctx, Op.Target, NewNode, V);
+      if (V.isViolation())
+        return false;
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+ExecOutcome Machine::execStep(State &S, unsigned Ctx, Violation &V) const {
+  uint32_t Pc = normalizePc(S, Ctx);
+  const FlatBody &B = bodyOf(Ctx);
+  if (Pc >= B.Steps.size())
+    return ExecOutcome{StepResult::Finished, Pc};
+  const Step &St = B.Steps[Pc];
+
+  if (St.DynGuard) {
+    int64_t Guard = eval(S, Ctx, St.DynGuard, V);
+    if (V.isViolation())
+      return ExecOutcome{StepResult::Violated, Pc};
+    if (Guard == 0) {
+      S.Pc[Ctx] = Pc + 1; // the step is a dynamic no-op
+      return ExecOutcome{StepResult::Ok, Pc};
+    }
+  }
+  if (St.WaitCond) {
+    int64_t Wait = eval(S, Ctx, St.WaitCond, V);
+    if (V.isViolation())
+      return ExecOutcome{StepResult::Violated, Pc};
+    if (Wait == 0)
+      return ExecOutcome{StepResult::Blocked, Pc};
+  }
+  if (!execOps(S, Ctx, St, V))
+    return ExecOutcome{StepResult::Violated, Pc};
+  S.Pc[Ctx] = Pc + 1;
+  return ExecOutcome{StepResult::Ok, Pc};
+}
+
+bool Machine::runToCompletion(State &S, unsigned Ctx, Violation &V) const {
+  for (;;) {
+    ExecOutcome Out = execStep(S, Ctx, V);
+    switch (Out.Result) {
+    case StepResult::Finished:
+      return true;
+    case StepResult::Ok:
+      continue;
+    case StepResult::Blocked:
+      V.VKind = Violation::Kind::Deadlock;
+      V.Label = "conditional atomic blocked in a sequential phase";
+      return false;
+    case StepResult::Violated:
+      return false;
+    }
+  }
+}
+
+std::string Machine::encodeState(const State &S) const {
+  std::string Bytes;
+  Bytes.reserve(2 * (S.Globals.size() + S.Heap.size() +
+                     4 * FP.Threads.size() + 8));
+  auto Put16 = [&Bytes](int64_t Value) {
+    Bytes.push_back(static_cast<char>(Value & 0xff));
+    Bytes.push_back(static_cast<char>((Value >> 8) & 0xff));
+  };
+  for (int64_t G : S.Globals)
+    Put16(G);
+  for (int64_t H : S.Heap)
+    Put16(H);
+  Put16(S.AllocCount);
+  for (unsigned Ctx = 0; Ctx < FP.Threads.size(); ++Ctx) {
+    Put16(static_cast<int64_t>(S.Pc[Ctx]));
+    for (int64_t L : S.Locals[Ctx])
+      Put16(L);
+  }
+  return Bytes;
+}

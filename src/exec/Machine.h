@@ -1,0 +1,154 @@
+//===- exec/Machine.h - Concrete execution of flat programs -----*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete small-step machine over a flat program and one candidate
+/// (hole assignment). The model checker drives it across interleavings;
+/// the random-schedule falsifier and the test oracles drive it along fixed
+/// schedules. Its semantics — wrapped W-bit arithmetic, bounded node pool,
+/// implicit memory-safety checks, conditional atomics as the only blocking
+/// primitive — are the exact semantics the symbolic trace encoder models,
+/// so the verifier and the inductive synthesizer can never disagree about
+/// what a trace does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_EXEC_MACHINE_H
+#define PSKETCH_EXEC_MACHINE_H
+
+#include "desugar/Flat.h"
+#include "ir/HoleAssignment.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace exec {
+
+/// Why an execution failed.
+struct Violation {
+  enum class Kind : uint8_t {
+    None,
+    AssertFail,   ///< a programmer/spec assert evaluated false
+    MemUnsafe,    ///< null/invalid pointer deref or array index
+    PoolExhausted,///< allocation beyond the node pool
+    Deadlock,     ///< all live threads blocked on conditional atomics
+    LoopBound,    ///< (reported as AssertFail by the interpreter; reserved)
+  };
+  Kind VKind = Kind::None;
+  std::string Label;
+
+  bool isViolation() const { return VKind != Kind::None; }
+};
+
+/// A machine state. Plain value type: copyable for search.
+struct State {
+  std::vector<int64_t> Globals; ///< flattened scalars and arrays
+  std::vector<int64_t> Heap;    ///< PoolSize x NumFields field values
+  int64_t AllocCount = 0;       ///< nodes allocated so far
+  std::vector<std::vector<int64_t>> Locals; ///< per context
+  std::vector<uint32_t> Pc;                 ///< per context
+};
+
+/// Result of attempting one step of one context.
+enum class StepResult : uint8_t {
+  Ok,       ///< a step executed (possibly a dynamic no-op)
+  Blocked,  ///< next step is a conditional atomic whose condition is false
+  Finished, ///< the context has no steps left
+  Violated, ///< the step (or its wait-condition evaluation) failed
+};
+
+/// The outcome of Machine::execStep.
+struct ExecOutcome {
+  StepResult Result = StepResult::Ok;
+  uint32_t ExecutedPc = 0; ///< the step index that ran (when Result==Ok
+                           ///< or the blocking/violating step otherwise)
+};
+
+/// Executes a flat program under a fixed candidate.
+class Machine {
+public:
+  /// Context numbering: 0..N-1 are threads, N is the prologue, N+1 the
+  /// epilogue.
+  Machine(const flat::FlatProgram &FP, const ir::HoleAssignment &Holes);
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(FP.Threads.size());
+  }
+  unsigned prologueCtx() const { return numThreads(); }
+  unsigned epilogueCtx() const { return numThreads() + 1; }
+  unsigned numContexts() const { return numThreads() + 2; }
+
+  const flat::FlatBody &bodyOf(unsigned Ctx) const;
+  const ir::HoleAssignment &holes() const { return Holes; }
+  const flat::FlatProgram &program() const { return FP; }
+
+  /// \returns the initial state: globals/locals at their declared inits,
+  /// heap zeroed, nothing allocated, all PCs at zero.
+  State initialState() const;
+
+  /// Advances Ctx's PC past statically dead steps (dead under this
+  /// candidate). \returns the PC of the next live step, or the body size.
+  uint32_t normalizePc(State &S, unsigned Ctx) const;
+
+  /// True when the context has no live steps left.
+  bool isFinished(State &S, unsigned Ctx) const;
+
+  /// True when the context's next live step only touches thread-local
+  /// state (it commutes with every other context: the checker may run it
+  /// without a scheduling choice).
+  bool nextStepIsLocal(State &S, unsigned Ctx) const;
+
+  /// Attempts one step of \p Ctx. On StepResult::Ok the state advanced; on
+  /// Blocked/Finished it is unchanged; on Violated \p V describes the
+  /// failure (the PC is left at the violating step).
+  ExecOutcome execStep(State &S, unsigned Ctx, Violation &V) const;
+
+  /// Runs a single-threaded context to completion. \returns false and
+  /// fills \p V on violation (a conditional atomic blocking in a
+  /// single-threaded phase is reported as a deadlock).
+  bool runToCompletion(State &S, unsigned Ctx, Violation &V) const;
+
+  /// Evaluates \p E in context \p Ctx. On safety violation returns 0 and
+  /// fills \p V.
+  int64_t eval(const State &S, unsigned Ctx, ir::ExprRef E, Violation &V) const;
+
+  /// Encodes the scheduler-relevant part of a state into a compact byte
+  /// string (used as the model checker's visited-set key). Prologue and
+  /// epilogue locals are excluded: they cannot differ during the parallel
+  /// phase.
+  std::string encodeState(const State &S) const;
+
+  /// \returns the offset of global \p Id in State::Globals.
+  unsigned globalOffset(unsigned Id) const { return GlobalOffsets[Id]; }
+
+  /// \returns total flattened global slots.
+  unsigned globalSlots() const { return NumGlobalSlots; }
+
+private:
+  const flat::FlatProgram &FP;
+  const ir::Program &P;
+  ir::HoleAssignment Holes;
+
+  std::vector<unsigned> GlobalOffsets;
+  unsigned NumGlobalSlots = 0;
+  std::vector<std::vector<char>> DeadStep; ///< per context, per pc
+
+  const ir::Body &irBodyOf(unsigned Ctx) const;
+  int64_t loadLoc(const State &S, unsigned Ctx, const ir::Loc &L,
+                  Violation &V) const;
+  void storeLoc(State &S, unsigned Ctx, const ir::Loc &L, int64_t Value,
+                Violation &V) const;
+  bool execOps(State &S, unsigned Ctx, const flat::Step &St,
+               Violation &V) const;
+};
+
+} // namespace exec
+} // namespace psketch
+
+#endif // PSKETCH_EXEC_MACHINE_H

@@ -1,0 +1,179 @@
+//===- frontend/Lexer.cpp --------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/StrUtil.h"
+
+#include <cctype>
+
+using namespace psketch;
+using namespace psketch::frontend;
+
+const char *psketch::frontend::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::End: return "end of input";
+  case TokenKind::Ident: return "identifier";
+  case TokenKind::Number: return "number";
+  case TokenKind::String: return "string";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Dot: return "'.'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::EqEq: return "'=='";
+  case TokenKind::NotEq: return "'!='";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::LessEq: return "'<='";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::GreaterEq: return "'>='";
+  case TokenKind::AndAnd: return "'&&'";
+  case TokenKind::OrOr: return "'||'";
+  case TokenKind::Not: return "'!'";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Hole: return "'?" "?'";
+  case TokenKind::GenOpen: return "'{|'";
+  case TokenKind::GenClose: return "'|}'";
+  case TokenKind::Pipe: return "'|'";
+  }
+  return "?";
+}
+
+bool psketch::frontend::tokenize(const std::string &Source,
+                                 std::vector<Token> &TokensOut,
+                                 std::string &ErrorOut) {
+  TokensOut.clear();
+  unsigned Line = 1, Column = 1;
+  size_t I = 0;
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return I + Ahead < Source.size() ? Source[I + Ahead] : '\0';
+  };
+  auto Advance = [&]() {
+    if (Source[I] == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    ++I;
+  };
+  auto Push = [&](TokenKind Kind, unsigned AtLine, unsigned AtColumn) {
+    Token T;
+    T.Kind = Kind;
+    T.Line = AtLine;
+    T.Column = AtColumn;
+    TokensOut.push_back(T);
+    return &TokensOut.back();
+  };
+
+  while (I < Source.size()) {
+    char C = Peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments: // to end of line.
+    if (C == '/' && Peek(1) == '/') {
+      while (I < Source.size() && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    unsigned TLine = Line, TColumn = Column;
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (std::isalnum(static_cast<unsigned char>(Peek())) ||
+             Peek() == '_') {
+        Text.push_back(Peek());
+        Advance();
+      }
+      Push(TokenKind::Ident, TLine, TColumn)->Text = std::move(Text);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t Value = 0;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Value = Value * 10 + (Peek() - '0');
+        Advance();
+      }
+      Push(TokenKind::Number, TLine, TColumn)->Number = Value;
+      continue;
+    }
+    if (C == '"') {
+      Advance();
+      std::string Text;
+      while (I < Source.size() && Peek() != '"') {
+        Text.push_back(Peek());
+        Advance();
+      }
+      if (Peek() != '"') {
+        ErrorOut = format("%u:%u: unterminated string", TLine, TColumn);
+        return false;
+      }
+      Advance();
+      Push(TokenKind::String, TLine, TColumn)->Text = std::move(Text);
+      continue;
+    }
+
+    auto Two = [&](char A, char B) { return C == A && Peek(1) == B; };
+    TokenKind Kind;
+    unsigned Width = 2;
+    if (Two('?', '?'))
+      Kind = TokenKind::Hole;
+    else if (Two('{', '|'))
+      Kind = TokenKind::GenOpen;
+    else if (Two('|', '}'))
+      Kind = TokenKind::GenClose;
+    else if (Two('=', '='))
+      Kind = TokenKind::EqEq;
+    else if (Two('!', '='))
+      Kind = TokenKind::NotEq;
+    else if (Two('<', '='))
+      Kind = TokenKind::LessEq;
+    else if (Two('>', '='))
+      Kind = TokenKind::GreaterEq;
+    else if (Two('&', '&'))
+      Kind = TokenKind::AndAnd;
+    else if (Two('|', '|'))
+      Kind = TokenKind::OrOr;
+    else {
+      Width = 1;
+      switch (C) {
+      case '{': Kind = TokenKind::LBrace; break;
+      case '}': Kind = TokenKind::RBrace; break;
+      case '(': Kind = TokenKind::LParen; break;
+      case ')': Kind = TokenKind::RParen; break;
+      case '[': Kind = TokenKind::LBracket; break;
+      case ']': Kind = TokenKind::RBracket; break;
+      case ';': Kind = TokenKind::Semi; break;
+      case ',': Kind = TokenKind::Comma; break;
+      case '.': Kind = TokenKind::Dot; break;
+      case ':': Kind = TokenKind::Colon; break;
+      case '=': Kind = TokenKind::Assign; break;
+      case '<': Kind = TokenKind::Less; break;
+      case '>': Kind = TokenKind::Greater; break;
+      case '!': Kind = TokenKind::Not; break;
+      case '+': Kind = TokenKind::Plus; break;
+      case '-': Kind = TokenKind::Minus; break;
+      case '|': Kind = TokenKind::Pipe; break;
+      default:
+        ErrorOut = format("%u:%u: unexpected character '%c'", TLine, TColumn, C);
+        return false;
+      }
+    }
+    for (unsigned W = 0; W < Width; ++W)
+      Advance();
+    Push(Kind, TLine, TColumn);
+  }
+  Push(TokenKind::End, Line, Column);
+  return true;
+}

@@ -1,0 +1,80 @@
+//===- frontend/Lexer.h - Tokenizing the mini-PSketch language --*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual mini-PSketch language (see
+/// frontend/Parser.h for the grammar). The interesting tokens are the
+/// synthesis constructs: `??` (a primitive hole), `{|` ... `|` ... `|}`
+/// (expression generators), and the `reorder` keyword.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_FRONTEND_LEXER_H
+#define PSKETCH_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace frontend {
+
+enum class TokenKind : uint8_t {
+  End,
+  Ident,
+  Number,
+  String,
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Colon,
+  Assign,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AndAnd,
+  OrOr,
+  Not,
+  Plus,
+  Minus,
+  // Synthesis constructs.
+  Hole,     ///< ??
+  GenOpen,  ///< {|
+  GenClose, ///< |}
+  Pipe,     ///< | (inside generators)
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  std::string Text;   ///< identifier / string payload
+  int64_t Number = 0; ///< numeric payload
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+/// Tokenizes \p Source. On a lexical error, returns false and fills
+/// \p ErrorOut with a line/column-tagged message.
+bool tokenize(const std::string &Source, std::vector<Token> &TokensOut,
+              std::string &ErrorOut);
+
+/// \returns a human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace frontend
+} // namespace psketch
+
+#endif // PSKETCH_FRONTEND_LEXER_H

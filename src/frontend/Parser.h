@@ -1,0 +1,63 @@
+//===- frontend/Parser.h - The textual mini-PSketch language ----*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent frontend for a textual rendering of the PSKETCH
+/// language, lowering directly into the sketch IR:
+///
+/// \code
+///   pool 4;                       // node-pool capacity
+///   struct Node { Node next; int stored; int taken; }
+///   global Node tail;             // scalar and array globals
+///   global int res[2];
+///
+///   prologue { ... }              // sequential setup
+///   thread producer { ... }       // one explicit thread
+///   fork (i, 3) { ... }           // N copies; i is a per-copy constant
+///   epilogue { assert res[0] == 1 : "spec"; }
+/// \endcode
+///
+/// Statements: `var`, assignment, `if`/`else`, bounded `while (c) bound N`,
+/// `atomic`, conditional `atomic (c)`, `wait (c);`, `assert e : "msg";`,
+/// `reorder { ... }` (optionally `reorder exponential`), blocks, `new`,
+/// and `x = AtomicSwap(loc, value);`.
+///
+/// Synthesis constructs: `??(k)` is a primitive hole over [0, k);
+/// `{| e1 | e2 | ... |}` is an expression generator usable as an r-value
+/// or (over l-values) as an assignment/swap target; `reorder` blocks.
+/// Holes are keyed by source position, so the bodies replicated by
+/// `fork` share one set of holes — the sketch is resolved once, exactly
+/// like the builder API's shared-hole constructs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_FRONTEND_PARSER_H
+#define PSKETCH_FRONTEND_PARSER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+
+namespace psketch {
+namespace frontend {
+
+/// Outcome of parsing: a program, or a diagnostic.
+struct ParseResult {
+  std::unique_ptr<ir::Program> Program;
+  std::string Error; ///< non-empty iff Program is null
+
+  bool ok() const { return Program != nullptr; }
+};
+
+/// Parses mini-PSketch source text into a Program.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace frontend
+} // namespace psketch
+
+#endif // PSKETCH_FRONTEND_PARSER_H

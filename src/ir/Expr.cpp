@@ -1,0 +1,47 @@
+//===- ir/Expr.cpp ---------------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expr.h"
+
+using namespace psketch;
+using namespace psketch::ir;
+
+bool Expr::isHoleOnly() const {
+  switch (Kind) {
+  case ExprKind::ConstInt:
+  case ExprKind::HoleRead:
+    return true;
+  case ExprKind::GlobalRead:
+  case ExprKind::GlobalArrayRead:
+  case ExprKind::LocalRead:
+  case ExprKind::FieldRead:
+    return false;
+  default:
+    for (ExprRef Op : Ops)
+      if (!Op->isHoleOnly())
+        return false;
+    return true;
+  }
+}
+
+bool Expr::readsShared() const {
+  switch (Kind) {
+  case ExprKind::GlobalRead:
+  case ExprKind::GlobalArrayRead:
+  case ExprKind::FieldRead:
+    return true;
+  case ExprKind::ConstInt:
+  case ExprKind::HoleRead:
+  case ExprKind::LocalRead:
+    return false;
+  default:
+    break;
+  }
+  for (ExprRef Op : Ops)
+    if (Op->readsShared())
+      return true;
+  return false;
+}

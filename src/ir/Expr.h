@@ -1,0 +1,114 @@
+//===- ir/Expr.h - Sketch expression IR -------------------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expression IR of the PSKETCH language. Expressions are immutable
+/// nodes owned by a Program's arena and referenced by pointer. Program
+/// values are integers at IR level; the type tag distinguishes booleans,
+/// W-bit wrapped integers, and pointers into the bounded node pool
+/// (0 = null), matching both the concrete interpreter and the symbolic
+/// encoder semantics bit for bit.
+///
+/// The synthesis-specific nodes are HoleRead (the value of a primitive
+/// `??` hole) and Choice (a regular-expression expression generator
+/// `{| e1 | e2 | ... |}` already bound to its selector hole).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_IR_EXPR_H
+#define PSKETCH_IR_EXPR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace ir {
+
+/// Value types. Everything is an integer underneath; the tag drives
+/// width selection in the symbolic encoder and sanity checks in builders.
+enum class Type : uint8_t {
+  Bool, ///< 0 or 1
+  Int,  ///< W-bit two's complement (W = Program::IntWidth)
+  Ptr,  ///< node-pool index; 0 is null
+};
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  ConstInt,        ///< IntValue (typed Int, Bool, or Ptr-null)
+  GlobalRead,      ///< Id = global index (scalar)
+  GlobalArrayRead, ///< Id = global index, Ops[0] = element index
+  LocalRead,       ///< Id = local slot in the enclosing body
+  FieldRead,       ///< Id = field index, Ops[0] = pointer
+  HoleRead,        ///< Id = hole index; value in [0, NumChoices)
+  Choice,          ///< Id = selector hole; Ops = the k alternatives
+  Add,             ///< Ops[0] + Ops[1] (wrapped)
+  Sub,             ///< Ops[0] - Ops[1] (wrapped)
+  Eq,              ///< Ops[0] == Ops[1]
+  Ne,              ///< Ops[0] != Ops[1]
+  Lt,              ///< signed Ops[0] < Ops[1]
+  Le,              ///< signed Ops[0] <= Ops[1]
+  And,             ///< boolean Ops[0] && Ops[1] (short-circuit for safety)
+  Or,              ///< boolean Ops[0] || Ops[1] (short-circuit for safety)
+  Not,             ///< boolean !Ops[0]
+  Ite,             ///< Ops[0] ? Ops[1] : Ops[2]
+};
+
+class Expr;
+/// Expressions are arena-owned and immutable; plain pointers are stable.
+using ExprRef = const Expr *;
+
+/// An immutable expression node.
+class Expr {
+public:
+  ExprKind Kind;
+  Type Ty = Type::Int;
+  int64_t IntValue = 0; ///< payload of ConstInt
+  unsigned Id = 0;      ///< global/local/field/hole index
+  std::vector<ExprRef> Ops;
+
+  Expr(ExprKind Kind) : Kind(Kind) {}
+
+  bool isConst() const { return Kind == ExprKind::ConstInt; }
+
+  /// True if the expression mentions no state at all (constants and hole
+  /// reads only); such expressions are fixed per candidate, which lets the
+  /// flattener keep reorder guards static and the interpreter skip dead
+  /// steps without a scheduling point.
+  bool isHoleOnly() const;
+
+  /// True if the expression reads shared state (globals, arrays, or heap
+  /// fields). Used by the partial-order reduction.
+  bool readsShared() const;
+};
+
+/// A storage location (assignment target).
+struct Loc {
+  enum class Kind : uint8_t {
+    Global,      ///< scalar global; Id
+    GlobalArray, ///< array global; Id, Index = element
+    Local,       ///< local slot; Id
+    Field,       ///< heap field; Id = field, Index = pointer expr
+  };
+
+  Kind LocKind = Kind::Local;
+  unsigned Id = 0;
+  ExprRef Index = nullptr; ///< array index or pointer expression
+
+  /// True if writing this location touches shared state.
+  bool writesShared() const { return LocKind != Kind::Local; }
+
+  /// True if evaluating the address (not the store) reads shared state.
+  bool addressReadsShared() const {
+    return Index != nullptr && Index->readsShared();
+  }
+};
+
+} // namespace ir
+} // namespace psketch
+
+#endif // PSKETCH_IR_EXPR_H

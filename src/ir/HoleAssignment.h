@@ -1,0 +1,30 @@
+//===- ir/HoleAssignment.h - Candidate hole values --------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A candidate implementation is exactly an assignment of a value to every
+/// primitive hole: the paper's control vector "c". Values are indices in
+/// [0, Hole::NumChoices).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_IR_HOLEASSIGNMENT_H
+#define PSKETCH_IR_HOLEASSIGNMENT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace psketch {
+namespace ir {
+
+/// One candidate: hole id -> chosen alternative index.
+using HoleAssignment = std::vector<uint64_t>;
+
+} // namespace ir
+} // namespace psketch
+
+#endif // PSKETCH_IR_HOLEASSIGNMENT_H

@@ -1,0 +1,247 @@
+//===- ir/Printer.cpp ------------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/StaticEval.h"
+#include "support/StrUtil.h"
+
+using namespace psketch;
+using namespace psketch::ir;
+
+std::string Printer::localName(BodyId Scope, unsigned Slot) const {
+  const Body &B = P.body(Scope);
+  if (Slot < B.Locals.size())
+    return B.Locals[Slot].Name;
+  return format("local%u", Slot);
+}
+
+bool Printer::staticCondValue(ExprRef Cond, bool &ValueOut) const {
+  if (!Holes)
+    return false;
+  auto V = tryEvalStatic(P, Cond, *Holes);
+  if (!V)
+    return false;
+  ValueOut = *V != 0;
+  return true;
+}
+
+std::string Printer::expr(ExprRef E, BodyId Scope) const {
+  switch (E->Kind) {
+  case ExprKind::ConstInt:
+    if (E->Ty == Type::Ptr && E->IntValue == 0)
+      return "null";
+    if (E->Ty == Type::Bool)
+      return E->IntValue ? "true" : "false";
+    return format("%lld", static_cast<long long>(E->IntValue));
+  case ExprKind::GlobalRead:
+    return P.globals()[E->Id].Name;
+  case ExprKind::GlobalArrayRead:
+    return P.globals()[E->Id].Name + "[" + expr(E->Ops[0], Scope) + "]";
+  case ExprKind::LocalRead:
+    return localName(Scope, E->Id);
+  case ExprKind::FieldRead:
+    return expr(E->Ops[0], Scope) + "." + P.fields()[E->Id].Name;
+  case ExprKind::HoleRead:
+    if (Holes && E->Id < Holes->size())
+      return format("%llu", static_cast<unsigned long long>((*Holes)[E->Id]));
+    return "??" + format("<%s>", P.holes()[E->Id].Name.c_str());
+  case ExprKind::Choice: {
+    if (Holes && E->Id < Holes->size())
+      return expr(E->Ops[(*Holes)[E->Id]], Scope);
+    std::vector<std::string> Alts;
+    for (ExprRef Alt : E->Ops)
+      Alts.push_back(expr(Alt, Scope));
+    return "{| " + join(Alts, " | ") + " |}";
+  }
+  case ExprKind::Add:
+    return "(" + expr(E->Ops[0], Scope) + " + " + expr(E->Ops[1], Scope) + ")";
+  case ExprKind::Sub:
+    return "(" + expr(E->Ops[0], Scope) + " - " + expr(E->Ops[1], Scope) + ")";
+  case ExprKind::Eq:
+    return "(" + expr(E->Ops[0], Scope) + " == " + expr(E->Ops[1], Scope) + ")";
+  case ExprKind::Ne:
+    return "(" + expr(E->Ops[0], Scope) + " != " + expr(E->Ops[1], Scope) + ")";
+  case ExprKind::Lt:
+    return "(" + expr(E->Ops[0], Scope) + " < " + expr(E->Ops[1], Scope) + ")";
+  case ExprKind::Le:
+    return "(" + expr(E->Ops[0], Scope) + " <= " + expr(E->Ops[1], Scope) + ")";
+  case ExprKind::And:
+    return "(" + expr(E->Ops[0], Scope) + " && " + expr(E->Ops[1], Scope) + ")";
+  case ExprKind::Or:
+    return "(" + expr(E->Ops[0], Scope) + " || " + expr(E->Ops[1], Scope) + ")";
+  case ExprKind::Not:
+    return "!" + expr(E->Ops[0], Scope);
+  case ExprKind::Ite:
+    return "(" + expr(E->Ops[0], Scope) + " ? " + expr(E->Ops[1], Scope) +
+           " : " + expr(E->Ops[2], Scope) + ")";
+  }
+  __builtin_unreachable();
+}
+
+std::string Printer::loc(const Loc &L, BodyId Scope) const {
+  switch (L.LocKind) {
+  case Loc::Kind::Global:
+    return P.globals()[L.Id].Name;
+  case Loc::Kind::GlobalArray:
+    return P.globals()[L.Id].Name + "[" + expr(L.Index, Scope) + "]";
+  case Loc::Kind::Local:
+    return localName(Scope, L.Id);
+  case Loc::Kind::Field:
+    return expr(L.Index, Scope) + "." + P.fields()[L.Id].Name;
+  }
+  __builtin_unreachable();
+}
+
+std::string Printer::stmt(StmtRef S, BodyId Scope, unsigned Indent) const {
+  std::string Pad = indentText(Indent);
+  switch (S->Kind) {
+  case StmtKind::Nop:
+    return Pad + ";\n";
+  case StmtKind::Seq: {
+    std::string Out;
+    for (StmtRef Child : S->Children)
+      Out += stmt(Child, Scope, Indent);
+    return Out;
+  }
+  case StmtKind::Assign:
+    return Pad + loc(S->Target, Scope) + " = " + expr(S->Value, Scope) + ";\n";
+  case StmtKind::ChoiceAssign: {
+    if (Holes && S->HoleId < Holes->size())
+      return Pad + loc(S->TargetChoices[(*Holes)[S->HoleId]], Scope) + " = " +
+             expr(S->Value, Scope) + ";\n";
+    std::vector<std::string> Alts;
+    for (const Loc &L : S->TargetChoices)
+      Alts.push_back(loc(L, Scope));
+    return Pad + "{| " + join(Alts, " | ") + " |} = " + expr(S->Value, Scope) +
+           ";\n";
+  }
+  case StmtKind::Swap: {
+    std::string Where;
+    if (S->TargetChoices.size() == 1) {
+      Where = loc(S->TargetChoices[0], Scope);
+    } else if (Holes && S->HoleId < Holes->size()) {
+      Where = loc(S->TargetChoices[(*Holes)[S->HoleId]], Scope);
+    } else {
+      std::vector<std::string> Alts;
+      for (const Loc &L : S->TargetChoices)
+        Alts.push_back(loc(L, Scope));
+      Where = "{| " + join(Alts, " | ") + " |}";
+    }
+    return Pad + loc(S->Target, Scope) + " = AtomicSwap(" + Where + ", " +
+           expr(S->Value, Scope) + ");\n";
+  }
+  case StmtKind::If: {
+    bool CondValue;
+    if (staticCondValue(S->Cond, CondValue)) {
+      StmtRef Taken = CondValue ? S->Children[0] : S->Children[1];
+      if (!Taken || Taken->Kind == StmtKind::Nop)
+        return std::string(); // the resolved optional statement vanished
+      return stmt(Taken, Scope, Indent);
+    }
+    std::string Out =
+        Pad + "if (" + expr(S->Cond, Scope) + ") {\n" +
+        (S->Children[0] ? stmt(S->Children[0], Scope, Indent + 1) : "");
+    if (S->Children[1] && S->Children[1]->Kind != StmtKind::Nop) {
+      Out += Pad + "} else {\n";
+      Out += stmt(S->Children[1], Scope, Indent + 1);
+    }
+    return Out + Pad + "}\n";
+  }
+  case StmtKind::While:
+    return Pad + "while (" + expr(S->Cond, Scope) + ") {" +
+           format("  // unrolled %u times\n", S->UnrollBound) +
+           stmt(S->Children[0], Scope, Indent + 1) + Pad + "}\n";
+  case StmtKind::Atomic:
+    return Pad + "atomic {\n" + stmt(S->Children[0], Scope, Indent + 1) + Pad +
+           "}\n";
+  case StmtKind::CondAtomic:
+    return Pad + "atomic (" + expr(S->Cond, Scope) + ") {\n" +
+           stmt(S->Children[0], Scope, Indent + 1) + Pad + "}\n";
+  case StmtKind::Assert:
+    return Pad + "assert " + expr(S->Cond, Scope) + "; // " + S->Label + "\n";
+  case StmtKind::Alloc:
+    return Pad + loc(S->Target, Scope) + " = new Node();\n";
+  case StmtKind::Reorder: {
+    unsigned K = static_cast<unsigned>(S->Children.size());
+    if (Holes && K >= 2) {
+      // Reconstruct the chosen order from the selector holes.
+      std::vector<unsigned> Order;
+      if (S->Encoding == ReorderEncoding::Quadratic) {
+        for (unsigned I = 0; I < K; ++I)
+          Order.push_back(
+              static_cast<unsigned>((*Holes)[S->ReorderHoles[I]]));
+      } else {
+        // Replay the insertion encoding: the expanded list holds one
+        // active copy of each statement among the inactive ones.
+        struct Entry {
+          unsigned Child;
+          bool Active;
+        };
+        std::vector<Entry> List = {Entry{0, true}};
+        for (unsigned M = 1; M < K; ++M) {
+          unsigned Gap =
+              static_cast<unsigned>((*Holes)[S->ReorderHoles[M - 1]]);
+          std::vector<Entry> Next;
+          unsigned L = static_cast<unsigned>(List.size());
+          for (unsigned P2 = 0; P2 < L; ++P2) {
+            Next.push_back(Entry{M, Gap == P2});
+            Next.push_back(List[P2]);
+          }
+          Next.push_back(Entry{M, Gap == L});
+          List = std::move(Next);
+        }
+        for (const Entry &E : List)
+          if (E.Active)
+            Order.push_back(E.Child);
+      }
+      std::string Out;
+      for (unsigned Index : Order)
+        Out += stmt(S->Children[Index], Scope, Indent);
+      return Out;
+    }
+    std::string Out = Pad + "reorder {\n";
+    for (StmtRef Child : S->Children)
+      Out += stmt(Child, Scope, Indent + 1);
+    return Out + Pad + "}\n";
+  }
+  }
+  __builtin_unreachable();
+}
+
+std::string Printer::program() const {
+  std::string Out = "struct Node {\n";
+  for (const Field &F : P.fields())
+    Out += "  " + F.Name + ";\n";
+  Out += "}\n";
+  for (const Global &G : P.globals()) {
+    if (G.ArraySize > 0)
+      Out += format("global %s[%u] = %lld;\n", G.Name.c_str(), G.ArraySize,
+                    static_cast<long long>(G.Init));
+    else
+      Out += format("global %s = %lld;\n", G.Name.c_str(),
+                    static_cast<long long>(G.Init));
+  }
+  auto PrintBody = [&](const Body &B, BodyId Id, const std::string &Title) {
+    if (!B.Root)
+      return;
+    Out += "\n" + Title + " {\n";
+    for (const Local &L : B.Locals) {
+      if (!L.Name.empty() && L.Name[0] == '%')
+        continue; // hidden flattener temps
+      Out += format("  var %s = %lld;\n", L.Name.c_str(),
+                    static_cast<long long>(L.Init));
+    }
+    Out += stmt(B.Root, Id, 1);
+    Out += "}\n";
+  };
+  PrintBody(P.body(BodyId::prologue()), BodyId::prologue(), "prologue");
+  for (unsigned I = 0; I < P.numThreads(); ++I)
+    PrintBody(P.body(BodyId::thread(I)), BodyId::thread(I),
+              format("thread %u \"%s\"", I, P.body(BodyId::thread(I)).Name.c_str()));
+  PrintBody(P.body(BodyId::epilogue()), BodyId::epilogue(), "epilogue");
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- ir/Printer.h - Pretty-printing sketches and candidates ---*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the structured IR as PSKETCH-flavoured source text. When a hole
+/// assignment is supplied, synthesis constructs are resolved: generators
+/// print their chosen alternative, reorder blocks print their chosen
+/// order, and statically dead branches disappear — this is how the system
+/// reports a synthesized implementation (the paper's Figures 2, 4, 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_IR_PRINTER_H
+#define PSKETCH_IR_PRINTER_H
+
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <string>
+
+namespace psketch {
+namespace ir {
+
+/// Printing context: a program, the body whose locals are in scope, and an
+/// optional candidate to resolve the sketch with.
+class Printer {
+public:
+  Printer(const Program &P, const HoleAssignment *Holes = nullptr)
+      : P(P), Holes(Holes) {}
+
+  /// Renders an expression (locals resolved against \p Scope).
+  std::string expr(ExprRef E, BodyId Scope) const;
+
+  /// Renders a location.
+  std::string loc(const Loc &L, BodyId Scope) const;
+
+  /// Renders a statement tree at \p Indent levels of two-space indent.
+  std::string stmt(StmtRef S, BodyId Scope, unsigned Indent = 0) const;
+
+  /// Renders the whole program (declarations and all bodies).
+  std::string program() const;
+
+private:
+  const Program &P;
+  const HoleAssignment *Holes;
+
+  std::string localName(BodyId Scope, unsigned Slot) const;
+  bool staticCondValue(ExprRef Cond, bool &ValueOut) const;
+  std::string indentText(unsigned Indent) const {
+    return std::string(2 * Indent, ' ');
+  }
+};
+
+} // namespace ir
+} // namespace psketch
+
+#endif // PSKETCH_IR_PRINTER_H

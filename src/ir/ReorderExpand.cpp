@@ -1,0 +1,55 @@
+//===- ir/ReorderExpand.cpp ------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ReorderExpand.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::ir;
+
+std::vector<ReorderEntry> psketch::ir::expandReorder(Program &P,
+                                                     const Stmt *S) {
+  assert(S->Kind == StmtKind::Reorder && "not a reorder block");
+  unsigned K = static_cast<unsigned>(S->Children.size());
+  std::vector<ReorderEntry> Entries;
+  if (K == 0)
+    return Entries;
+  if (K == 1) {
+    Entries.push_back(ReorderEntry{S->Children[0], nullptr});
+    return Entries;
+  }
+
+  if (S->Encoding == ReorderEncoding::Quadratic) {
+    // Slot i executes the statement j with order[i] == j.
+    for (unsigned I = 0; I < K; ++I) {
+      ExprRef OrderI = P.holeValue(S->ReorderHoles[I]);
+      for (unsigned J = 0; J < K; ++J)
+        Entries.push_back(ReorderEntry{
+            S->Children[J], P.eq(OrderI, P.constInt(static_cast<int64_t>(J)))});
+    }
+    return Entries;
+  }
+
+  // Exponential (insertion) encoding: start from s0 and insert each next
+  // statement into one of the L+1 gaps of the current expanded list.
+  Entries.push_back(ReorderEntry{S->Children[0], nullptr});
+  for (unsigned M = 1; M < K; ++M) {
+    ExprRef InsertHole = P.holeValue(S->ReorderHoles[M - 1]);
+    std::vector<ReorderEntry> Next;
+    unsigned L = static_cast<unsigned>(Entries.size());
+    for (unsigned Gap = 0; Gap < L; ++Gap) {
+      Next.push_back(ReorderEntry{
+          S->Children[M],
+          P.eq(InsertHole, P.constInt(static_cast<int64_t>(Gap)))});
+      Next.push_back(Entries[Gap]);
+    }
+    Next.push_back(ReorderEntry{
+        S->Children[M], P.eq(InsertHole, P.constInt(static_cast<int64_t>(L)))});
+    Entries = std::move(Next);
+  }
+  return Entries;
+}

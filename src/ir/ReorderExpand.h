@@ -1,0 +1,52 @@
+//===- ir/ReorderExpand.h - Reorder-block encodings -------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expansion of `reorder { s0 ... sk-1 }` into a guarded statement list,
+/// implementing both encodings of Section 7.2:
+///
+///  * Quadratic: k slots; slot i holds every statement guarded by
+///    `order[i] == j`, with a static no-duplicates constraint. k^2 entries
+///    and k*lg(k) control bits.
+///  * Exponential: statements are inserted one at a time; inserting into
+///    an expanded list of length L yields L+1 guarded copies, so statement
+///    m appears 2^m times and the list has 2^k - 1 entries, with ~k^2/2
+///    control bits. Redundant (several hole values give the same order)
+///    but often far cheaper when the block mixes expensive and cheap
+///    statements — the ablation bench measures exactly this tradeoff.
+///
+/// The same expansion drives the flattener (which emits the guarded steps)
+/// and the printer (which reconstructs the chosen order from a candidate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_IR_REORDEREXPAND_H
+#define PSKETCH_IR_REORDEREXPAND_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace psketch {
+namespace ir {
+
+/// One entry of an expanded reorder block: a child statement guarded by a
+/// hole-only condition (null = unconditional).
+struct ReorderEntry {
+  StmtRef Child = nullptr;
+  ExprRef Cond = nullptr;
+};
+
+/// Expands reorder statement \p S (building guard expressions in \p P).
+/// The returned entries, executed in order with their guards, realize
+/// every ordering the encoding can express.
+std::vector<ReorderEntry> expandReorder(Program &P, const Stmt *S);
+
+} // namespace ir
+} // namespace psketch
+
+#endif // PSKETCH_IR_REORDEREXPAND_H

@@ -1,0 +1,87 @@
+//===- ir/StaticEval.cpp ---------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StaticEval.h"
+
+using namespace psketch;
+using namespace psketch::ir;
+
+std::optional<int64_t> psketch::ir::tryEvalStatic(const Program &P, ExprRef E,
+                                                  const HoleAssignment &Holes) {
+  switch (E->Kind) {
+  case ExprKind::ConstInt:
+    return E->IntValue;
+  case ExprKind::HoleRead:
+    if (E->Id >= Holes.size())
+      return std::nullopt;
+    return P.wrap(static_cast<int64_t>(Holes[E->Id]), Type::Int);
+  case ExprKind::GlobalRead:
+  case ExprKind::GlobalArrayRead:
+  case ExprKind::LocalRead:
+  case ExprKind::FieldRead:
+    return std::nullopt;
+  case ExprKind::Choice: {
+    if (E->Id >= Holes.size())
+      return std::nullopt;
+    uint64_t Pick = Holes[E->Id];
+    if (Pick >= E->Ops.size())
+      return std::nullopt;
+    return tryEvalStatic(P, E->Ops[Pick], Holes);
+  }
+  case ExprKind::Not: {
+    auto V = tryEvalStatic(P, E->Ops[0], Holes);
+    if (!V)
+      return std::nullopt;
+    return *V != 0 ? 0 : 1;
+  }
+  case ExprKind::And: {
+    auto A = tryEvalStatic(P, E->Ops[0], Holes);
+    if (A && *A == 0)
+      return 0; // short-circuit: RHS need not be static
+    auto B = tryEvalStatic(P, E->Ops[1], Holes);
+    if (!A || !B)
+      return std::nullopt;
+    return (*A != 0 && *B != 0) ? 1 : 0;
+  }
+  case ExprKind::Or: {
+    auto A = tryEvalStatic(P, E->Ops[0], Holes);
+    if (A && *A != 0)
+      return 1;
+    auto B = tryEvalStatic(P, E->Ops[1], Holes);
+    if (!A || !B)
+      return std::nullopt;
+    return (*A != 0 || *B != 0) ? 1 : 0;
+  }
+  case ExprKind::Ite: {
+    auto C = tryEvalStatic(P, E->Ops[0], Holes);
+    if (!C)
+      return std::nullopt;
+    return tryEvalStatic(P, E->Ops[*C != 0 ? 1 : 2], Holes);
+  }
+  default:
+    break;
+  }
+  auto A = tryEvalStatic(P, E->Ops[0], Holes);
+  auto B = tryEvalStatic(P, E->Ops[1], Holes);
+  if (!A || !B)
+    return std::nullopt;
+  switch (E->Kind) {
+  case ExprKind::Add:
+    return P.wrap(*A + *B, E->Ty);
+  case ExprKind::Sub:
+    return P.wrap(*A - *B, E->Ty);
+  case ExprKind::Eq:
+    return *A == *B ? 1 : 0;
+  case ExprKind::Ne:
+    return *A != *B ? 1 : 0;
+  case ExprKind::Lt:
+    return *A < *B ? 1 : 0;
+  case ExprKind::Le:
+    return *A <= *B ? 1 : 0;
+  default:
+    return std::nullopt;
+  }
+}

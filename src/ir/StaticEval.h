@@ -1,0 +1,38 @@
+//===- ir/StaticEval.h - Partial evaluation over holes ----------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluation of hole-only expressions under a (possibly partial) hole
+/// assignment. Used by the pretty-printer to render resolved sketches, by
+/// the interpreter to skip statically dead steps (e.g. the unselected
+/// copies inside a reorder encoding), and by the model checker's
+/// partial-order reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_IR_STATICEVAL_H
+#define PSKETCH_IR_STATICEVAL_H
+
+#include "ir/Expr.h"
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <optional>
+
+namespace psketch {
+namespace ir {
+
+/// Evaluates \p E if it depends only on constants and holes assigned in
+/// \p Holes. \returns std::nullopt when the expression reads program state
+/// or an out-of-range hole.
+std::optional<int64_t> tryEvalStatic(const Program &P, ExprRef E,
+                                     const HoleAssignment &Holes);
+
+} // namespace ir
+} // namespace psketch
+
+#endif // PSKETCH_IR_STATICEVAL_H

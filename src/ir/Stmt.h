@@ -1,0 +1,96 @@
+//===- ir/Stmt.h - Sketch statement IR --------------------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured statement IR of the PSKETCH language. The synthesis
+/// constructs mirror Section 4 of the paper:
+///
+///  * Reorder  - the `reorder { ... }` block; its selector holes are
+///    created when the block is built, so both the flattener and the
+///    pretty-printer can reconstruct the chosen order.
+///  * ChoiceAssign - an assignment through an l-value generator
+///    `{| loc1 | loc2 |} = e`.
+///  * Swap     - `tmp = AtomicSwap(loc, value)` with an optional l-value
+///    generator for the swapped location.
+///  * CondAtomic - the conditional atomic section `atomic (c) { ... }`,
+///    the paper's sole blocking primitive (locks desugar to it, Fig. 7).
+///
+/// `While` carries its unroll bound: PSKETCH verifies bounded executions
+/// and enforces termination with a guarded assert after the last unrolled
+/// iteration (Section 6's bounded-liveness approximation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_IR_STMT_H
+#define PSKETCH_IR_STMT_H
+
+#include "ir/Expr.h"
+
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace ir {
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  Nop,          ///< no-op (the resolved form of an optional statement)
+  Seq,          ///< Children in order
+  Assign,       ///< Target = Value
+  ChoiceAssign, ///< {| TargetChoices |} = Value, selected by HoleId
+  Swap,         ///< Target = AtomicSwap({| TargetChoices |}, Value)
+  If,           ///< if (Cond) Children[0] else Children[1] (may be null)
+  While,        ///< while (Cond) Children[0], unrolled UnrollBound times
+  Atomic,       ///< atomic { Children[0] }
+  CondAtomic,   ///< atomic (Cond) { Children[0] }; blocks until Cond
+  Assert,       ///< assert(Cond); Label names the property
+  Alloc,        ///< Target = new Node() (bump-allocated, zero fields)
+  Reorder,      ///< reorder { Children... }, ordered by ReorderHoles
+};
+
+/// How a reorder block is encoded into primitive holes (Section 7.2).
+enum class ReorderEncoding : uint8_t {
+  Quadratic,   ///< k holes of k choices + "no duplicates" constraint
+  Exponential, ///< k-1 insertion-position holes (the recursive encoding)
+};
+
+class Stmt;
+using StmtRef = Stmt *;
+
+/// A statement node, arena-owned by its Program.
+class Stmt {
+public:
+  StmtKind Kind;
+  ExprRef Cond = nullptr;  ///< If/While/CondAtomic/Assert condition
+  Loc Target;              ///< Assign/Swap/Alloc destination
+  ExprRef Value = nullptr; ///< Assign/ChoiceAssign/Swap source value
+  std::vector<StmtRef> Children;
+
+  /// ChoiceAssign/Swap: candidate target locations; for Swap a single
+  /// entry means the location is fixed.
+  std::vector<Loc> TargetChoices;
+  /// Selector hole for ChoiceAssign (and Swap when TargetChoices > 1).
+  unsigned HoleId = 0;
+
+  /// Reorder: the selector holes (k order holes or k-1 insertion holes).
+  std::vector<unsigned> ReorderHoles;
+  ReorderEncoding Encoding = ReorderEncoding::Quadratic;
+
+  /// While: maximum number of unrolled iterations.
+  unsigned UnrollBound = 0;
+
+  /// Assert: property name used in diagnostics; also used as a general
+  /// label in trace printing.
+  std::string Label;
+
+  Stmt(StmtKind Kind) : Kind(Kind) {}
+};
+
+} // namespace ir
+} // namespace psketch
+
+#endif // PSKETCH_IR_STMT_H

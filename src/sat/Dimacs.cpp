@@ -1,0 +1,89 @@
+//===- sat/Dimacs.cpp ------------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Dimacs.h"
+
+#include "sat/Solver.h"
+#include "support/StrUtil.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace psketch;
+using namespace psketch::sat;
+
+bool psketch::sat::parseDimacs(const std::string &Text, Cnf &CnfOut,
+                               std::string &ErrorOut) {
+  CnfOut = Cnf();
+  std::istringstream Stream(Text);
+  std::string Token;
+  std::vector<Lit> Current;
+  bool SawHeader = false;
+
+  while (Stream >> Token) {
+    if (Token == "c") {
+      std::string Rest;
+      std::getline(Stream, Rest);
+      continue;
+    }
+    if (Token == "p") {
+      std::string Kind;
+      int DeclaredVars = 0, DeclaredClauses = 0;
+      if (!(Stream >> Kind >> DeclaredVars >> DeclaredClauses) ||
+          Kind != "cnf") {
+        ErrorOut = "malformed problem line";
+        return false;
+      }
+      CnfOut.NumVars = DeclaredVars;
+      SawHeader = true;
+      continue;
+    }
+    char *End = nullptr;
+    long Value = std::strtol(Token.c_str(), &End, 10);
+    if (End == Token.c_str() || *End != '\0') {
+      ErrorOut = "unexpected token '" + Token + "'";
+      return false;
+    }
+    if (Value == 0) {
+      CnfOut.Clauses.push_back(Current);
+      Current.clear();
+      continue;
+    }
+    int V = static_cast<int>(Value < 0 ? -Value : Value) - 1;
+    if (V + 1 > CnfOut.NumVars)
+      CnfOut.NumVars = V + 1;
+    Current.push_back(Lit(V, Value < 0));
+  }
+  if (!Current.empty()) {
+    ErrorOut = "trailing clause without terminating 0";
+    return false;
+  }
+  if (!SawHeader && CnfOut.Clauses.empty() && CnfOut.NumVars == 0) {
+    ErrorOut = "empty input";
+    return false;
+  }
+  return true;
+}
+
+std::string psketch::sat::writeDimacs(const Cnf &Formula) {
+  std::string Out =
+      format("p cnf %d %zu\n", Formula.NumVars, Formula.Clauses.size());
+  for (const std::vector<Lit> &Clause : Formula.Clauses) {
+    for (Lit L : Clause)
+      Out += format("%d ", (L.var() + 1) * (L.sign() ? -1 : 1));
+    Out += "0\n";
+  }
+  return Out;
+}
+
+bool psketch::sat::loadCnf(const Cnf &Formula, Solver &SolverOut) {
+  while (SolverOut.numVars() < Formula.NumVars)
+    SolverOut.newVar();
+  for (const std::vector<Lit> &Clause : Formula.Clauses)
+    if (!SolverOut.addClause(Clause))
+      return false;
+  return true;
+}

@@ -1,0 +1,49 @@
+//===- sat/Dimacs.h - DIMACS CNF reading and writing ------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DIMACS CNF import/export. Used by the test suite (random CNF round
+/// trips) and handy for debugging synthesized instances with external
+/// solvers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SAT_DIMACS_H
+#define PSKETCH_SAT_DIMACS_H
+
+#include "sat/SatTypes.h"
+
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace sat {
+
+class Solver;
+
+/// A CNF formula in portable form: clause lists over 0-based variables.
+struct Cnf {
+  int NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+};
+
+/// Parses DIMACS text. \returns false (and fills \p ErrorOut) on malformed
+/// input. Accepts comment lines and a standard "p cnf V C" header; the
+/// header's counts are advisory.
+bool parseDimacs(const std::string &Text, Cnf &CnfOut, std::string &ErrorOut);
+
+/// Renders \p Formula as DIMACS text.
+std::string writeDimacs(const Cnf &Formula);
+
+/// Loads \p Formula into \p SolverOut, creating variables as needed.
+/// \returns false if the formula is trivially unsatisfiable during load.
+bool loadCnf(const Cnf &Formula, Solver &SolverOut);
+
+} // namespace sat
+} // namespace psketch
+
+#endif // PSKETCH_SAT_DIMACS_H

@@ -1,0 +1,578 @@
+//===- sat/Solver.cpp - A CDCL SAT solver ----------------------------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::sat;
+
+Solver::Solver() = default;
+
+Solver::~Solver() {
+  for (Clause *C : Problem)
+    delete C;
+  for (Clause *C : Learnts)
+    delete C;
+}
+
+Var Solver::newVar() {
+  Var V = static_cast<Var>(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  Polarity.push_back(1); // default phase: false, as in MiniSat
+  Activity.push_back(0.0);
+  Level.push_back(0);
+  Reason.push_back(nullptr);
+  Seen.push_back(0);
+  HeapIndex.push_back(-1);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  heapInsert(V);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Branching heap (binary max-heap keyed on Activity).
+//===----------------------------------------------------------------------===//
+
+void Solver::heapInsert(Var V) {
+  assert(HeapIndex[V] < 0 && "variable already in heap");
+  HeapIndex[V] = static_cast<int>(Heap.size());
+  Heap.push_back(V);
+  heapPercolateUp(HeapIndex[V]);
+}
+
+void Solver::heapPercolateUp(int Index) {
+  Var V = Heap[Index];
+  while (Index > 0) {
+    int Parent = (Index - 1) / 2;
+    if (Activity[Heap[Parent]] >= Activity[V])
+      break;
+    Heap[Index] = Heap[Parent];
+    HeapIndex[Heap[Index]] = Index;
+    Index = Parent;
+  }
+  Heap[Index] = V;
+  HeapIndex[V] = Index;
+}
+
+void Solver::heapPercolateDown(int Index) {
+  Var V = Heap[Index];
+  int Size = static_cast<int>(Heap.size());
+  for (;;) {
+    int Child = 2 * Index + 1;
+    if (Child >= Size)
+      break;
+    if (Child + 1 < Size && Activity[Heap[Child + 1]] > Activity[Heap[Child]])
+      ++Child;
+    if (Activity[Heap[Child]] <= Activity[V])
+      break;
+    Heap[Index] = Heap[Child];
+    HeapIndex[Heap[Index]] = Index;
+    Index = Child;
+  }
+  Heap[Index] = V;
+  HeapIndex[V] = Index;
+}
+
+Var Solver::heapRemoveMax() {
+  assert(!Heap.empty() && "removing from an empty heap");
+  Var Top = Heap[0];
+  HeapIndex[Top] = -1;
+  Var Last = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    Heap[0] = Last;
+    HeapIndex[Last] = 0;
+    heapPercolateDown(0);
+  }
+  return Top;
+}
+
+void Solver::varBumpActivity(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  if (heapContains(V))
+    heapPercolateUp(HeapIndex[V]);
+}
+
+void Solver::claBumpActivity(Clause &C) {
+  C.Activity += ClauseInc;
+  if (C.Activity > 1e20) {
+    for (Clause *L : Learnts)
+      L->Activity *= 1e-20;
+    ClauseInc *= 1e-20;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Clause database.
+//===----------------------------------------------------------------------===//
+
+void Solver::attachClause(Clause *C) {
+  assert(C->size() >= 2 && "attaching too-short clause");
+  Watches[(~(*C)[0]).index()].push_back(Watcher{C, (*C)[1]});
+  Watches[(~(*C)[1]).index()].push_back(Watcher{C, (*C)[0]});
+}
+
+void Solver::detachClause(Clause *C) {
+  for (int Slot = 0; Slot < 2; ++Slot) {
+    std::vector<Watcher> &List = Watches[(~(*C)[Slot]).index()];
+    for (size_t I = 0; I < List.size(); ++I) {
+      if (List[I].C != C)
+        continue;
+      List[I] = List.back();
+      List.pop_back();
+      break;
+    }
+  }
+}
+
+bool Solver::addClause(std::vector<Lit> Lits) {
+  cancelUntil(0);
+  if (!Ok)
+    return false;
+
+  // Normalize: sort, deduplicate, detect tautologies, drop root-false
+  // literals, and notice root-true literals.
+  std::sort(Lits.begin(), Lits.end());
+  std::vector<Lit> Kept;
+  Lit Prev = litUndef();
+  for (Lit L : Lits) {
+    assert(L.var() < numVars() && "clause mentions unknown variable");
+    if (value(L) == LBool::True || L == ~Prev)
+      return true; // clause is already satisfied / tautological
+    if (value(L) == LBool::False || L == Prev)
+      continue; // literal can never help / duplicate
+    Kept.push_back(L);
+    Prev = L;
+  }
+
+  if (Kept.empty()) {
+    Ok = false;
+    return false;
+  }
+  if (Kept.size() == 1) {
+    uncheckedEnqueue(Kept[0], nullptr);
+    if (propagate() != nullptr)
+      Ok = false;
+    return Ok;
+  }
+
+  Clause *C = new Clause();
+  C->Lits = std::move(Kept);
+  Problem.push_back(C);
+  ++NumProblemClauses;
+  attachClause(C);
+  return true;
+}
+
+void Solver::uncheckedEnqueue(Lit L, Clause *From) {
+  assert(value(L) == LBool::Undef && "enqueueing assigned literal");
+  Var V = L.var();
+  Assigns[V] = boolToLBool(!L.sign());
+  Level[V] = decisionLevel();
+  Reason[V] = From;
+  Trail.push_back(L);
+  ++Stats.Propagations;
+}
+
+Clause *Solver::propagate() {
+  Clause *Conflict = nullptr;
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++]; // P is now true
+    std::vector<Watcher> &List = Watches[P.index()];
+    size_t Read = 0, Write = 0;
+    while (Read < List.size()) {
+      Watcher W = List[Read];
+      // Cheap out: if the cached blocker is true, the clause is satisfied.
+      if (value(W.Blocker) == LBool::True) {
+        List[Write++] = List[Read++];
+        continue;
+      }
+      Clause &C = *W.C;
+      Lit FalseLit = ~P;
+      if (C[0] == FalseLit)
+        std::swap(C[0], C[1]);
+      assert(C[1] == FalseLit && "watch invariant broken");
+      ++Read;
+
+      Lit First = C[0];
+      if (First != W.Blocker && value(First) == LBool::True) {
+        List[Write++] = Watcher{W.C, First};
+        continue;
+      }
+
+      // Look for a replacement watch.
+      bool Rewatched = false;
+      for (size_t K = 2; K < C.size(); ++K) {
+        if (value(C[K]) == LBool::False)
+          continue;
+        std::swap(C[1], C[K]);
+        Watches[(~C[1]).index()].push_back(Watcher{W.C, First});
+        Rewatched = true;
+        break;
+      }
+      if (Rewatched)
+        continue;
+
+      // Clause is unit or conflicting under the current assignment.
+      List[Write++] = Watcher{W.C, First};
+      if (value(First) == LBool::False) {
+        Conflict = W.C;
+        PropagateHead = Trail.size();
+        while (Read < List.size())
+          List[Write++] = List[Read++];
+      } else {
+        uncheckedEnqueue(First, W.C);
+      }
+    }
+    List.resize(Write);
+  }
+  return Conflict;
+}
+
+//===----------------------------------------------------------------------===//
+// Conflict analysis (first UIP with recursive clause minimization).
+//===----------------------------------------------------------------------===//
+
+static uint32_t abstractLevel(int Level) {
+  return 1u << (Level & 31);
+}
+
+bool Solver::litRedundant(Lit P, uint32_t AbstractLevels) {
+  AnalyzeStack.clear();
+  AnalyzeStack.push_back(P);
+  size_t Checkpoint = AnalyzeToClear.size();
+  while (!AnalyzeStack.empty()) {
+    Lit X = AnalyzeStack.back();
+    AnalyzeStack.pop_back();
+    assert(Reason[X.var()] && "redundancy check hit a decision literal");
+    Clause &C = *Reason[X.var()];
+    for (size_t I = 1; I < C.size(); ++I) {
+      Lit Q = C[I];
+      if (Seen[Q.var()] || Level[Q.var()] == 0)
+        continue;
+      if (Reason[Q.var()] != nullptr &&
+          (abstractLevel(Level[Q.var()]) & AbstractLevels) != 0) {
+        Seen[Q.var()] = 1;
+        AnalyzeStack.push_back(Q);
+        AnalyzeToClear.push_back(Q);
+        continue;
+      }
+      // Not redundant: undo the speculative marks.
+      for (size_t J = Checkpoint; J < AnalyzeToClear.size(); ++J)
+        Seen[AnalyzeToClear[J].var()] = 0;
+      AnalyzeToClear.resize(Checkpoint);
+      return false;
+    }
+  }
+  return true;
+}
+
+void Solver::analyze(Clause *Conflict, std::vector<Lit> &Learnt,
+                     int &BacktrackLevel, uint32_t &LBD) {
+  Learnt.clear();
+  Learnt.push_back(litUndef()); // slot for the asserting literal
+  AnalyzeToClear.clear();
+
+  int Pending = 0;
+  Lit P = litUndef();
+  int TrailIndex = static_cast<int>(Trail.size()) - 1;
+
+  do {
+    assert(Conflict && "no reason clause during analysis");
+    Clause &C = *Conflict;
+    if (C.Learnt)
+      claBumpActivity(C);
+    for (size_t I = (P == litUndef()) ? 0 : 1; I < C.size(); ++I) {
+      Lit Q = C[I];
+      Var V = Q.var();
+      if (Seen[V] || Level[V] == 0)
+        continue;
+      varBumpActivity(V);
+      Seen[V] = 1;
+      AnalyzeToClear.push_back(Q);
+      if (Level[V] >= decisionLevel())
+        ++Pending;
+      else
+        Learnt.push_back(Q);
+    }
+    // Walk back to the next marked literal on the trail.
+    while (!Seen[Trail[TrailIndex--].var()])
+      ;
+    P = Trail[TrailIndex + 1];
+    Conflict = Reason[P.var()];
+    Seen[P.var()] = 0;
+    --Pending;
+  } while (Pending > 0);
+  Learnt[0] = ~P;
+
+  // Minimize: drop literals implied by the remainder of the clause.
+  uint32_t AbstractLevels = 0;
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    AbstractLevels |= abstractLevel(Level[Learnt[I].var()]);
+  size_t Write = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    if (Reason[Learnt[I].var()] == nullptr ||
+        !litRedundant(Learnt[I], AbstractLevels))
+      Learnt[Write++] = Learnt[I];
+  }
+  Learnt.resize(Write);
+
+  // Compute the backtrack level and move its literal to slot 1.
+  if (Learnt.size() == 1) {
+    BacktrackLevel = 0;
+  } else {
+    size_t MaxIndex = 1;
+    for (size_t I = 2; I < Learnt.size(); ++I)
+      if (Level[Learnt[I].var()] > Level[Learnt[MaxIndex].var()])
+        MaxIndex = I;
+    std::swap(Learnt[1], Learnt[MaxIndex]);
+    BacktrackLevel = Level[Learnt[1].var()];
+  }
+
+  // Literal-block distance: the number of distinct decision levels.
+  std::vector<int> Levels;
+  Levels.reserve(Learnt.size());
+  for (Lit L : Learnt)
+    Levels.push_back(Level[L.var()]);
+  std::sort(Levels.begin(), Levels.end());
+  LBD = static_cast<uint32_t>(
+      std::unique(Levels.begin(), Levels.end()) - Levels.begin());
+
+  for (Lit L : AnalyzeToClear)
+    Seen[L.var()] = 0;
+  AnalyzeToClear.clear();
+}
+
+void Solver::cancelUntil(int TargetLevel) {
+  if (decisionLevel() <= TargetLevel)
+    return;
+  for (int I = static_cast<int>(Trail.size()) - 1; I >= TrailLim[TargetLevel];
+       --I) {
+    Var V = Trail[I].var();
+    Assigns[V] = LBool::Undef;
+    Polarity[V] = static_cast<char>(Trail[I].sign());
+    Reason[V] = nullptr;
+    if (!heapContains(V))
+      heapInsert(V);
+  }
+  PropagateHead = static_cast<size_t>(TrailLim[TargetLevel]);
+  Trail.resize(static_cast<size_t>(TrailLim[TargetLevel]));
+  TrailLim.resize(static_cast<size_t>(TargetLevel));
+}
+
+Lit Solver::pickBranchLit() {
+  while (!Heap.empty()) {
+    Var V = heapRemoveMax();
+    if (value(V) == LBool::Undef)
+      return Lit(V, Polarity[V] != 0);
+  }
+  return litUndef();
+}
+
+void Solver::reduceDB() {
+  // Delete-first ordering: high LBD, then low activity.
+  std::sort(Learnts.begin(), Learnts.end(), [](Clause *A, Clause *B) {
+    if (A->LBD != B->LBD)
+      return A->LBD > B->LBD;
+    return A->Activity < B->Activity;
+  });
+  auto IsLocked = [this](Clause *C) {
+    return Reason[(*C)[0].var()] == C && value((*C)[0]) == LBool::True;
+  };
+  size_t Target = Learnts.size() / 2;
+  size_t Write = 0;
+  for (size_t I = 0; I < Learnts.size(); ++I) {
+    Clause *C = Learnts[I];
+    bool Deletable = I < Target && C->size() > 2 && C->LBD > 2 && !IsLocked(C);
+    if (Deletable) {
+      detachClause(C);
+      delete C;
+      ++Stats.DeletedClauses;
+      continue;
+    }
+    Learnts[Write++] = C;
+  }
+  Learnts.resize(Write);
+}
+
+void Solver::removeSatisfiedLearnts() {
+  assert(decisionLevel() == 0 && "root-level simplification only");
+  // Root-level assignments never need their reasons again; clearing them
+  // here keeps the clause database free to delete any satisfied clause.
+  for (Lit L : Trail)
+    Reason[L.var()] = nullptr;
+  auto IsSatisfied = [this](Clause *C) {
+    for (Lit L : C->Lits)
+      if (value(L) == LBool::True)
+        return true;
+    return false;
+  };
+  size_t Write = 0;
+  for (Clause *C : Learnts) {
+    if (IsSatisfied(C)) {
+      detachClause(C);
+      delete C;
+      ++Stats.DeletedClauses;
+      continue;
+    }
+    Learnts[Write++] = C;
+  }
+  Learnts.resize(Write);
+}
+
+//===----------------------------------------------------------------------===//
+// Search.
+//===----------------------------------------------------------------------===//
+
+uint64_t psketch::sat::lubySequence(uint64_t Index) {
+  // Find the finite subsequence containing Index and its position in it.
+  uint64_t Size = 1, Seq = 0;
+  while (Size < Index + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != Index) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    Index = Index % Size;
+  }
+  return 1ull << Seq;
+}
+
+bool Solver::search(uint64_t ConflictsBeforeRestart, bool &DoneOut) {
+  DoneOut = true;
+  uint64_t LocalConflicts = 0;
+  std::vector<Lit> Learnt;
+
+  for (;;) {
+    Clause *Conflict = propagate();
+    if (Conflict != nullptr) {
+      ++Stats.Conflicts;
+      ++LocalConflicts;
+      if (decisionLevel() == 0) {
+        Ok = false;
+        return false;
+      }
+
+      int BacktrackLevel = 0;
+      uint32_t LBD = 0;
+      analyze(Conflict, Learnt, BacktrackLevel, LBD);
+      cancelUntil(BacktrackLevel);
+
+      if (Learnt.size() == 1) {
+        uncheckedEnqueue(Learnt[0], nullptr);
+      } else {
+        Clause *C = new Clause();
+        C->Lits = Learnt;
+        C->Learnt = true;
+        C->LBD = LBD;
+        Learnts.push_back(C);
+        attachClause(C);
+        claBumpActivity(*C);
+        uncheckedEnqueue(Learnt[0], C);
+      }
+      Stats.LearntLiterals += Learnt.size();
+      varDecayActivity();
+      claDecayActivity();
+
+      if (ConflictBudget != 0 &&
+          Stats.Conflicts - SolveStartConflicts >= ConflictBudget) {
+        BudgetExhausted = true;
+        cancelUntil(0);
+        return false;
+      }
+      continue;
+    }
+
+    // No conflict.
+    if (LocalConflicts >= ConflictsBeforeRestart) {
+      ++Stats.Restarts;
+      cancelUntil(0);
+      DoneOut = false;
+      return false;
+    }
+    if (static_cast<double>(Learnts.size()) >= MaxLearnts) {
+      reduceDB();
+      MaxLearnts *= 1.1;
+    }
+
+    // Respect assumptions, then branch.
+    Lit Next = litUndef();
+    while (decisionLevel() < static_cast<int>(CurrentAssumptions.size())) {
+      Lit Assumption = CurrentAssumptions[decisionLevel()];
+      if (value(Assumption) == LBool::True) {
+        // Already satisfied: open a dummy decision level to keep the
+        // level/assumption correspondence.
+        TrailLim.push_back(static_cast<int>(Trail.size()));
+        continue;
+      }
+      if (value(Assumption) == LBool::False)
+        return false; // unsatisfiable under the assumptions
+      Next = Assumption;
+      break;
+    }
+
+    if (Next == litUndef()) {
+      Next = pickBranchLit();
+      if (Next == litUndef()) {
+        Model = Assigns; // full model found
+        return true;
+      }
+      ++Stats.Decisions;
+    }
+    TrailLim.push_back(static_cast<int>(Trail.size()));
+    uncheckedEnqueue(Next, nullptr);
+  }
+}
+
+bool Solver::solve() { return solve(std::vector<Lit>()); }
+
+bool Solver::solve(const std::vector<Lit> &Assumptions) {
+  Model.clear();
+  BudgetExhausted = false;
+  if (!Ok)
+    return false;
+
+  cancelUntil(0);
+  if (propagate() != nullptr) {
+    Ok = false;
+    return false;
+  }
+  removeSatisfiedLearnts();
+
+  CurrentAssumptions = Assumptions;
+  SolveStartConflicts = Stats.Conflicts;
+  MaxLearnts =
+      std::max(MaxLearnts, static_cast<double>(NumProblemClauses) / 3.0 + 2000);
+
+  bool Result = false;
+  bool Done = false;
+  for (uint64_t Round = 0; !Done; ++Round) {
+    uint64_t Budget = 100 * lubySequence(Round);
+    Result = search(Budget, Done);
+    if (BudgetExhausted)
+      break;
+  }
+  cancelUntil(0);
+  CurrentAssumptions.clear();
+  return Result;
+}
+
+LBool Solver::modelValue(Var V) const {
+  if (V < 0 || static_cast<size_t>(V) >= Model.size())
+    return LBool::Undef;
+  return Model[V];
+}

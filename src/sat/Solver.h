@@ -1,0 +1,198 @@
+//===- sat/Solver.h - A CDCL SAT solver -------------------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver in the MiniSat lineage:
+/// two-literal watches, first-UIP learning with clause minimization, EVSIDS
+/// branching with phase saving, Luby restarts, and LBD-based learnt-clause
+/// database reduction. The inductive synthesizer (Section 6 of the paper)
+/// uses it incrementally: each counterexample trace contributes clauses, and
+/// the accumulated instance is re-solved to propose the next candidate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SAT_SOLVER_H
+#define PSKETCH_SAT_SOLVER_H
+
+#include "sat/SatTypes.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace psketch {
+namespace sat {
+
+/// Aggregate solver statistics, reported by the benchmark harness.
+struct SolverStats {
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Conflicts = 0;
+  uint64_t Restarts = 0;
+  uint64_t LearntLiterals = 0;
+  uint64_t DeletedClauses = 0;
+};
+
+/// A CDCL SAT solver with incremental clause addition and assumption-based
+/// solving.
+///
+/// Usage:
+/// \code
+///   Solver S;
+///   Var A = S.newVar(), B = S.newVar();
+///   S.addClause({Lit(A, false), Lit(B, true)});
+///   if (S.solve())
+///     bool AVal = S.modelValue(A) == LBool::True;
+/// \endcode
+class Solver {
+public:
+  Solver();
+  ~Solver();
+
+  Solver(const Solver &) = delete;
+  Solver &operator=(const Solver &) = delete;
+
+  /// Creates a fresh variable and \returns it.
+  Var newVar();
+
+  /// \returns the number of variables allocated so far.
+  int numVars() const { return static_cast<int>(Assigns.size()); }
+
+  /// \returns the number of problem (non-learnt) clauses.
+  size_t numClauses() const { return NumProblemClauses; }
+
+  /// \returns the number of currently live learnt clauses.
+  size_t numLearnts() const { return Learnts.size(); }
+
+  /// Adds a clause over existing variables. \returns false if the solver
+  /// is already in an unsatisfiable state (the clause may be dropped).
+  /// Duplicated literals are merged; tautologies are ignored.
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Convenience overloads for short clauses.
+  bool addClause(Lit A) { return addClause(std::vector<Lit>{A}); }
+  bool addClause(Lit A, Lit B) { return addClause(std::vector<Lit>{A, B}); }
+  bool addClause(Lit A, Lit B, Lit C) {
+    return addClause(std::vector<Lit>{A, B, C});
+  }
+
+  /// Solves the current instance. \returns true iff satisfiable.
+  bool solve();
+
+  /// Solves under \p Assumptions (literals forced true for this call only).
+  bool solve(const std::vector<Lit> &Assumptions);
+
+  /// \returns the model value of \p V after a satisfiable solve().
+  LBool modelValue(Var V) const;
+
+  /// \returns the model value of \p L after a satisfiable solve().
+  LBool modelValue(Lit L) const {
+    return xorLBool(modelValue(L.var()), L.sign());
+  }
+
+  /// \returns false once the instance has been proven unsatisfiable at
+  /// level zero (no future solve can succeed without new variables).
+  bool okay() const { return Ok; }
+
+  /// \returns cumulative statistics.
+  const SolverStats &stats() const { return Stats; }
+
+  /// Sets the conflict budget for the next solve (0 = unlimited). When the
+  /// budget is exhausted solve() returns false and budgetExhausted() is
+  /// true; callers must treat that as "unknown".
+  void setConflictBudget(uint64_t Conflicts) { ConflictBudget = Conflicts; }
+
+  /// \returns true if the previous solve stopped on the conflict budget
+  /// rather than on a real SAT/UNSAT answer.
+  bool budgetExhausted() const { return BudgetExhausted; }
+
+private:
+  // Watcher: clause plus a cached "blocker" literal that often avoids
+  // touching the clause at all.
+  struct Watcher {
+    Clause *C;
+    Lit Blocker;
+  };
+
+  // Assignment trail and per-variable metadata.
+  std::vector<LBool> Assigns;
+  std::vector<char> Polarity;       // saved phase; 1 = last assigned false
+  std::vector<double> Activity;     // EVSIDS activity
+  std::vector<int> Level;           // decision level of assignment
+  std::vector<Clause *> Reason;     // implying clause (nullptr = decision)
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;        // trail index per decision level
+  size_t PropagateHead = 0;
+
+  // Clause database.
+  std::vector<Clause *> Problem;
+  std::vector<Clause *> Learnts;
+  size_t NumProblemClauses = 0;
+  std::vector<std::vector<Watcher>> Watches; // indexed by Lit::index()
+
+  // Branching heap (binary max-heap on Activity).
+  std::vector<Var> Heap;
+  std::vector<int> HeapIndex; // -1 = not in heap
+  double VarInc = 1.0;
+  double ClauseInc = 1.0;
+
+  // Conflict-analysis scratch.
+  std::vector<char> Seen;
+  std::vector<Lit> AnalyzeStack;
+  std::vector<Lit> AnalyzeToClear;
+
+  // Per-solve state.
+  std::vector<Lit> CurrentAssumptions;
+  uint64_t SolveStartConflicts = 0;
+
+  // Solver state.
+  bool Ok = true;
+  std::vector<LBool> Model;
+  SolverStats Stats;
+  uint64_t ConflictBudget = 0;
+  bool BudgetExhausted = false;
+  double MaxLearnts = 0.0;
+
+  // Internals.
+  LBool value(Var V) const { return Assigns[V]; }
+  LBool value(Lit L) const { return xorLBool(Assigns[L.var()], L.sign()); }
+  int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
+
+  void attachClause(Clause *C);
+  void detachClause(Clause *C);
+  void uncheckedEnqueue(Lit L, Clause *From);
+  Clause *propagate();
+  void analyze(Clause *Conflict, std::vector<Lit> &Learnt, int &BacktrackLevel,
+               uint32_t &LBD);
+  bool litRedundant(Lit L, uint32_t AbstractLevels);
+  void cancelUntil(int TargetLevel);
+  Lit pickBranchLit();
+  bool search(uint64_t ConflictsBeforeRestart, bool &DoneOut);
+  void reduceDB();
+  void removeSatisfiedLearnts();
+
+  // Activity bookkeeping.
+  void varBumpActivity(Var V);
+  void varDecayActivity() { VarInc *= (1.0 / 0.95); }
+  void claBumpActivity(Clause &C);
+  void claDecayActivity() { ClauseInc *= (1.0 / 0.999); }
+
+  // Heap operations.
+  void heapInsert(Var V);
+  void heapPercolateUp(int Index);
+  void heapPercolateDown(int Index);
+  Var heapRemoveMax();
+  bool heapContains(Var V) const { return HeapIndex[V] >= 0; }
+};
+
+/// \returns the Luby sequence value luby(Index) for restart scheduling.
+uint64_t lubySequence(uint64_t Index);
+
+} // namespace sat
+} // namespace psketch
+
+#endif // PSKETCH_SAT_SOLVER_H

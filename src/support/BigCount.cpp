@@ -1,0 +1,92 @@
+//===- support/BigCount.cpp ------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigCount.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace psketch;
+
+static const unsigned __int128 Max128 = ~static_cast<unsigned __int128>(0);
+
+BigCount BigCount::saturated() {
+  BigCount C;
+  C.Value = Max128;
+  C.Saturated = true;
+  return C;
+}
+
+BigCount &BigCount::operator*=(const BigCount &Factor) {
+  Saturated |= Factor.Saturated;
+  if (Factor.Value != 0 && Value > Max128 / Factor.Value) {
+    Value = Max128;
+    Saturated = true;
+    return *this;
+  }
+  Value *= Factor.Value;
+  return *this;
+}
+
+BigCount &BigCount::operator+=(const BigCount &Addend) {
+  Saturated |= Addend.Saturated;
+  if (Value > Max128 - Addend.Value) {
+    Value = Max128;
+    Saturated = true;
+    return *this;
+  }
+  Value += Addend.Value;
+  return *this;
+}
+
+BigCount BigCount::factorial(unsigned K) {
+  BigCount Result;
+  for (unsigned I = 2; I <= K; ++I)
+    Result *= BigCount(I);
+  return Result;
+}
+
+BigCount BigCount::pow(uint64_t Base, unsigned Exp) {
+  BigCount Result;
+  for (unsigned I = 0; I < Exp; ++I)
+    Result *= BigCount(Base);
+  return Result;
+}
+
+double BigCount::log10() const {
+  if (Value == 0)
+    return -std::numeric_limits<double>::infinity();
+  // Split into high and low 64-bit halves for a precise double conversion.
+  uint64_t Hi = static_cast<uint64_t>(Value >> 64);
+  uint64_t Lo = static_cast<uint64_t>(Value);
+  double AsDouble = static_cast<double>(Hi) * 18446744073709551616.0 +
+                    static_cast<double>(Lo);
+  return std::log10(AsDouble);
+}
+
+bool BigCount::fitsInU64() const {
+  return !Saturated && (Value >> 64) == 0;
+}
+
+uint64_t BigCount::asU64() const {
+  assert(fitsInU64() && "count does not fit in 64 bits");
+  return static_cast<uint64_t>(Value);
+}
+
+std::string BigCount::str() const {
+  if (Value == 0)
+    return Saturated ? "0+" : "0";
+  std::string Digits;
+  unsigned __int128 Rest = Value;
+  while (Rest != 0) {
+    Digits.push_back(static_cast<char>('0' + static_cast<int>(Rest % 10)));
+    Rest /= 10;
+  }
+  std::string Result(Digits.rbegin(), Digits.rend());
+  if (Saturated)
+    Result += "+";
+  return Result;
+}

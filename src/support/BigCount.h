@@ -1,0 +1,72 @@
+//===- support/BigCount.h - Saturating candidate-space counts ---*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact (saturating 128-bit) counting of candidate-program spaces. The
+/// paper's Table 1 reports |C| per sketch; products of hole cardinalities
+/// and reorder factorials overflow 64 bits quickly, so we count in 128 bits
+/// with saturation and provide a log10 view for Figure 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_BIGCOUNT_H
+#define PSKETCH_SUPPORT_BIGCOUNT_H
+
+#include <cstdint>
+#include <string>
+
+namespace psketch {
+
+/// A saturating unsigned 128-bit counter for candidate-space sizes.
+class BigCount {
+public:
+  /// Constructs the count \p Value (default 1: the empty product).
+  BigCount(uint64_t Value = 1) : Value(Value), Saturated(false) {}
+
+  /// \returns the saturated maximum count.
+  static BigCount saturated();
+
+  /// Multiplies in \p Factor, saturating on overflow.
+  BigCount &operator*=(const BigCount &Factor);
+  friend BigCount operator*(BigCount A, const BigCount &B) { return A *= B; }
+
+  /// Adds \p Addend, saturating on overflow.
+  BigCount &operator+=(const BigCount &Addend);
+  friend BigCount operator+(BigCount A, const BigCount &B) { return A += B; }
+
+  /// \returns k! as a BigCount (saturating).
+  static BigCount factorial(unsigned K);
+
+  /// \returns Base^Exp as a BigCount (saturating).
+  static BigCount pow(uint64_t Base, unsigned Exp);
+
+  /// \returns true if the count exceeded 128 bits at some point.
+  bool isSaturated() const { return Saturated; }
+
+  /// \returns log10 of the count (inf-safe: saturated counts return the
+  /// log10 of the 128-bit maximum, a lower bound).
+  double log10() const;
+
+  /// \returns the exact value when it fits in 64 bits.
+  bool fitsInU64() const;
+  uint64_t asU64() const;
+
+  /// \returns a decimal rendering, suffixed with "+" when saturated.
+  std::string str() const;
+
+  friend bool operator==(const BigCount &A, const BigCount &B) {
+    return A.Value == B.Value && A.Saturated == B.Saturated;
+  }
+
+private:
+  unsigned __int128 Value;
+  bool Saturated;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_BIGCOUNT_H

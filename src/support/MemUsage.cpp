@@ -1,0 +1,51 @@
+//===- support/MemUsage.cpp ------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemUsage.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace psketch {
+
+double peakRSSMiB() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(Usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(Usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+double currentRSSMiB() {
+#if defined(__linux__)
+  FILE *Statm = std::fopen("/proc/self/statm", "r");
+  if (!Statm)
+    return 0.0;
+  long Size = 0, Resident = 0;
+  int Matched = std::fscanf(Statm, "%ld %ld", &Size, &Resident);
+  std::fclose(Statm);
+  if (Matched != 2)
+    return 0.0;
+  const double PageMiB = 4096.0 / (1024.0 * 1024.0);
+  return static_cast<double>(Resident) * PageMiB;
+#else
+  return peakRSSMiB();
+#endif
+}
+
+} // namespace psketch

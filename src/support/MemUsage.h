@@ -1,0 +1,29 @@
+//===- support/MemUsage.h - Process memory statistics -----------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Peak resident-set-size queries, used for the memory column of the
+/// paper's Figure 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_MEMUSAGE_H
+#define PSKETCH_SUPPORT_MEMUSAGE_H
+
+namespace psketch {
+
+/// \returns the peak resident set size of this process in MiB, or 0.0 if it
+/// cannot be determined on this platform.
+double peakRSSMiB();
+
+/// \returns the current resident set size of this process in MiB, or 0.0 if
+/// it cannot be determined on this platform.
+double currentRSSMiB();
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_MEMUSAGE_H

@@ -1,0 +1,59 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64) used by the random-schedule
+/// falsifier and the property tests. Determinism matters: a CEGIS run must
+/// be reproducible from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_RNG_H
+#define PSKETCH_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace psketch {
+
+/// SplitMix64: tiny, fast, and statistically solid enough for schedule
+/// sampling and test-input generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// \returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a uniformly distributed value in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Rejection-free multiply-shift; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// \returns a pseudo-random boolean that is true with probability
+  /// \p Numerator / \p Denominator.
+  bool chance(uint64_t Numerator, uint64_t Denominator) {
+    assert(Denominator > 0 && "zero denominator");
+    return below(Denominator) < Numerator;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_RNG_H

@@ -1,0 +1,73 @@
+//===- support/StrUtil.cpp -------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StrUtil.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace psketch;
+
+std::string psketch::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::vector<std::string> psketch::split(const std::string &Text,
+                                        char Separator) {
+  std::vector<std::string> Pieces;
+  std::string Current;
+  for (char C : Text) {
+    if (C == Separator) {
+      Pieces.push_back(Current);
+      Current.clear();
+      continue;
+    }
+    Current.push_back(C);
+  }
+  Pieces.push_back(Current);
+  return Pieces;
+}
+
+std::string psketch::trim(const std::string &Text) {
+  size_t Begin = 0, End = Text.size();
+  auto IsSpace = [](char C) {
+    return C == ' ' || C == '\t' || C == '\n' || C == '\r';
+  };
+  while (Begin < End && IsSpace(Text[Begin]))
+    ++Begin;
+  while (End > Begin && IsSpace(Text[End - 1]))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool psketch::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string psketch::join(const std::vector<std::string> &Pieces,
+                          const std::string &Separator) {
+  std::string Result;
+  for (size_t I = 0; I < Pieces.size(); ++I) {
+    if (I != 0)
+      Result += Separator;
+    Result += Pieces[I];
+  }
+  return Result;
+}

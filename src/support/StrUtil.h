@@ -1,0 +1,40 @@
+//===- support/StrUtil.h - Small string helpers -----------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting and splitting helpers shared by the printer, the
+/// frontend diagnostics, and the benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_STRUTIL_H
+#define PSKETCH_SUPPORT_STRUTIL_H
+
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// printf-style formatting into a std::string.
+std::string format(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits \p Text on \p Separator; empty pieces are kept.
+std::vector<std::string> split(const std::string &Text, char Separator);
+
+/// \returns \p Text with leading and trailing ASCII whitespace removed.
+std::string trim(const std::string &Text);
+
+/// \returns true if \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Joins \p Pieces with \p Separator between consecutive elements.
+std::string join(const std::vector<std::string> &Pieces,
+                 const std::string &Separator);
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_STRUTIL_H

@@ -1,0 +1,8 @@
+//===- support/Timer.cpp --------------------------------------------------===//
+//
+// Part of psketch-cpp. All timer members are header-inline; this translation
+// unit exists to anchor the library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"

@@ -1,0 +1,83 @@
+//===- support/Timer.h - Wall-clock timers ----------------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timers used to report the per-phase CEGIS statistics of the
+/// paper's Figure 9 (Ssolve, Smodel, Vsolve, Vmodel, Total).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_TIMER_H
+#define PSKETCH_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace psketch {
+
+/// A simple monotonic wall-clock stopwatch.
+class WallTimer {
+public:
+  WallTimer() { reset(); }
+
+  /// Restarts the stopwatch at zero.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates wall-clock time into named phases.
+///
+/// The CEGIS driver charges each span of work to one of the Figure 9
+/// phases; totals are read back when the run finishes.
+class PhaseTimer {
+public:
+  /// Adds \p Seconds to the running total of phase \p Phase.
+  void charge(const std::string &Phase, double Seconds) {
+    Totals[Phase] += Seconds;
+  }
+
+  /// \returns the accumulated seconds for \p Phase (0 if never charged).
+  double total(const std::string &Phase) const {
+    auto It = Totals.find(Phase);
+    return It == Totals.end() ? 0.0 : It->second;
+  }
+
+  /// Clears all accumulated phases.
+  void reset() { Totals.clear(); }
+
+private:
+  std::map<std::string, double> Totals;
+};
+
+/// RAII helper: charges the enclosed span to a phase on destruction.
+class ScopedPhase {
+public:
+  ScopedPhase(PhaseTimer &Timer, std::string Phase)
+      : Timer(Timer), Phase(std::move(Phase)) {}
+  ~ScopedPhase() { Timer.charge(Phase, Watch.seconds()); }
+
+  ScopedPhase(const ScopedPhase &) = delete;
+  ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+private:
+  PhaseTimer &Timer;
+  std::string Phase;
+  WallTimer Watch;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_TIMER_H

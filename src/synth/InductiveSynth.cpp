@@ -1,0 +1,76 @@
+//===- synth/InductiveSynth.cpp --------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/InductiveSynth.h"
+
+#include "support/Timer.h"
+
+using namespace psketch;
+using namespace psketch::synth;
+using circuit::BitVec;
+using circuit::NodeRef;
+
+InductiveSynth::InductiveSynth(const flat::FlatProgram &FP)
+    : FP(FP), Cnf(Graph, Solver), Encoder(Graph, FP) {
+  WallTimer Watch;
+  Cnf.assertTrue(Encoder.validity());
+  Stats.ModelSeconds += Watch.seconds();
+}
+
+void InductiveSynth::addTrace(const verify::Counterexample &Cex) {
+  WallTimer Watch;
+  ProjectedTrace PT = projectTrace(FP, Cex);
+  if (Cex.Where == verify::Counterexample::Phase::Prologue)
+    PT = fullProgramOrder(FP);
+  NodeRef Fail = Encoder.encodeTrace(PT);
+  Cnf.assertFalse(Fail);
+  ++Stats.Observations;
+  Stats.ModelSeconds += Watch.seconds();
+  Stats.GateCount = Graph.numNodes();
+  Stats.ClauseCount = Solver.numClauses();
+}
+
+void InductiveSynth::addInputObservation(const GlobalOverrides &Overrides) {
+  WallTimer Watch;
+  ProjectedTrace PT = fullProgramOrder(FP);
+  NodeRef Fail = Encoder.encodeTrace(PT, Overrides);
+  Cnf.assertFalse(Fail);
+  ++Stats.Observations;
+  Stats.ModelSeconds += Watch.seconds();
+  Stats.GateCount = Graph.numNodes();
+  Stats.ClauseCount = Solver.numClauses();
+}
+
+bool InductiveSynth::solve(ir::HoleAssignment &CandidateOut) {
+  WallTimer Watch;
+  bool Sat = Solver.solve();
+  Stats.SolveSeconds += Watch.seconds();
+  if (!Sat)
+    return false;
+
+  const std::vector<BitVec> &Holes = Encoder.holeBits();
+  CandidateOut.assign(Holes.size(), 0);
+  for (size_t I = 0; I < Holes.size(); ++I) {
+    uint64_t Value = 0;
+    for (unsigned B = 0; B < Holes[I].width(); ++B) {
+      sat::Lit L = Cnf.litFor(Holes[I].bit(B));
+      if (Solver.modelValue(L) == sat::LBool::True)
+        Value |= (1ull << B);
+    }
+    CandidateOut[I] = Value;
+  }
+  return true;
+}
+
+void InductiveSynth::excludeCandidate(const ir::HoleAssignment &Candidate) {
+  WallTimer Watch;
+  const std::vector<BitVec> &Holes = Encoder.holeBits();
+  std::vector<NodeRef> Equalities;
+  for (size_t I = 0; I < Holes.size() && I < Candidate.size(); ++I)
+    Equalities.push_back(bvEqConst(Graph, Holes[I], Candidate[I]));
+  Cnf.assertFalse(Graph.mkAndAll(Equalities));
+  Stats.ModelSeconds += Watch.seconds();
+}

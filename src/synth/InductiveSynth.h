@@ -1,0 +1,80 @@
+//===- synth/InductiveSynth.h - SAT-backed inductive synthesis --*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inductive half of CEGIS: keeps one incremental SAT instance alive
+/// across the whole run; every observation (a projected counterexample
+/// trace, or a concrete input for the sequential mode) adds the clauses of
+/// `not fail(Sk_t[c])`; solve() proposes the next candidate consistent
+/// with everything seen so far, or reports that the sketch cannot be
+/// resolved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_INDUCTIVESYNTH_H
+#define PSKETCH_SYNTH_INDUCTIVESYNTH_H
+
+#include "circuit/CnfBuilder.h"
+#include "circuit/Graph.h"
+#include "ir/HoleAssignment.h"
+#include "sat/Solver.h"
+#include "synth/Projection.h"
+#include "synth/TraceEncoder.h"
+#include "verify/Trace.h"
+
+#include <memory>
+
+namespace psketch {
+namespace synth {
+
+/// Timing of the two synthesizer phases, matching Figure 9's columns.
+struct SynthStats {
+  double ModelSeconds = 0.0; ///< Smodel: building circuits and clauses
+  double SolveSeconds = 0.0; ///< Ssolve: SAT solving
+  size_t Observations = 0;
+  size_t GateCount = 0;
+  size_t ClauseCount = 0;
+};
+
+/// The inductive synthesizer for one flat program.
+class InductiveSynth {
+public:
+  explicit InductiveSynth(const flat::FlatProgram &FP);
+
+  /// Adds a counterexample trace as an observation (projection + symbolic
+  /// encoding + clauses).
+  void addTrace(const verify::Counterexample &Cex);
+
+  /// Adds a sequential observation: the program, run on the given initial
+  /// global values, must not fail. Used by the `implements` CEGIS mode
+  /// where observations are inputs, not schedules.
+  void addInputObservation(const GlobalOverrides &Overrides);
+
+  /// Finds a candidate consistent with all observations. \returns false
+  /// if none exists (the sketch cannot be resolved).
+  bool solve(ir::HoleAssignment &CandidateOut);
+
+  /// Excludes a specific candidate from future solutions (used to
+  /// enumerate multiple implementations, Section 8.3.1's autotuning note).
+  void excludeCandidate(const ir::HoleAssignment &Candidate);
+
+  const SynthStats &stats() const { return Stats; }
+  const sat::Solver &solver() const { return Solver; }
+
+private:
+  const flat::FlatProgram &FP;
+  circuit::Graph Graph;
+  sat::Solver Solver;
+  circuit::CnfBuilder Cnf;
+  TraceEncoder Encoder;
+  SynthStats Stats;
+};
+
+} // namespace synth
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_INDUCTIVESYNTH_H

@@ -1,0 +1,81 @@
+//===- synth/Projection.cpp ------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Projection.h"
+
+#include <cassert>
+
+using namespace psketch;
+using namespace psketch::synth;
+using verify::Counterexample;
+using verify::TraceStep;
+
+ProjectedTrace psketch::synth::fullProgramOrder(const flat::FlatProgram &FP) {
+  ProjectedTrace PT;
+  PT.Truncated.assign(FP.Threads.size(), false);
+  for (unsigned T = 0; T < FP.Threads.size(); ++T)
+    for (uint32_t Pc = 0; Pc < FP.Threads[T].Steps.size(); ++Pc)
+      PT.Sequence.push_back(TraceStep{T, Pc});
+  PT.IncludeEpilogue = true;
+  PT.DeadlockStart = PT.Sequence.size();
+  return PT;
+}
+
+ProjectedTrace psketch::synth::projectTrace(const flat::FlatProgram &FP,
+                                            const Counterexample &Cex) {
+  unsigned NumThreads = static_cast<unsigned>(FP.Threads.size());
+  ProjectedTrace PT;
+  PT.Truncated.assign(NumThreads, false);
+
+  // Next per-thread pc that has not been emitted yet.
+  std::vector<uint32_t> NextPc(NumThreads, 0);
+
+  auto EmitThrough = [&](unsigned Thread, uint32_t Pc) {
+    // Program-order rule: untraced predecessors (statically dead under the
+    // failing candidate) are slotted in right before the traced step.
+    for (uint32_t Q = NextPc[Thread]; Q <= Pc; ++Q)
+      PT.Sequence.push_back(TraceStep{Thread, Q});
+    if (Pc + 1 > NextPc[Thread])
+      NextPc[Thread] = Pc + 1;
+  };
+
+  // (i) Trace order for traced steps.
+  for (const TraceStep &S : Cex.Steps) {
+    assert(S.Thread < NumThreads && "trace step of unknown thread");
+    if (S.Pc >= NextPc[S.Thread])
+      EmitThrough(S.Thread, S.Pc);
+  }
+
+  bool Deadlock = Cex.V.VKind == exec::Violation::Kind::Deadlock;
+  if (Deadlock) {
+    // (iii) Every non-deadlock step precedes the deadlock set; the blocked
+    // steps come last and everything after them is dropped.
+    for (const TraceStep &D : Cex.DeadlockSet)
+      if (D.Pc > NextPc[D.Thread])
+        EmitThrough(D.Thread, D.Pc - 1);
+    PT.DeadlockStart = PT.Sequence.size();
+    for (const TraceStep &D : Cex.DeadlockSet) {
+      PT.Sequence.push_back(TraceStep{D.Thread, D.Pc});
+      NextPc[D.Thread] = D.Pc + 1;
+    }
+    PT.IncludeEpilogue = false;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      PT.Truncated[T] = NextPc[T] < FP.Threads[T].Steps.size();
+    return PT;
+  }
+
+  // (ii) Complete the interleaving: append every remaining step in
+  // program order (the relative order across threads is arbitrary; we use
+  // thread index order).
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    uint32_t Len = static_cast<uint32_t>(FP.Threads[T].Steps.size());
+    if (NextPc[T] < Len)
+      EmitThrough(T, Len - 1);
+  }
+  PT.IncludeEpilogue = true;
+  PT.DeadlockStart = PT.Sequence.size();
+  return PT;
+}

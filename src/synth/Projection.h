@@ -1,0 +1,73 @@
+//===- synth/Projection.h - Projecting traces onto the space ----*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's key technical device (Section 6): turning a counterexample
+/// trace — which is specific to one candidate — into an observation valid
+/// for the *whole* candidate space. The projection is a single total order
+/// over all statements of all threads that
+///
+///  (i)  preserves the order of the steps that appear in the trace,
+///  (ii) preserves per-thread program order (steps the failing candidate
+///       skipped statically are slotted in at their program-order
+///       position), and
+///  (iii) for deadlock traces, places the deadlock set's steps after every
+///       other step and truncates there (the "longest projectable prefix"
+///       rule: successors of a blocked step cannot be ordered
+///       consistently, so they are dropped).
+///
+/// Because the result respects program order, it is a legal interleaving
+/// of every candidate — evaluating it symbolically can only eliminate
+/// genuinely bad candidates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_PROJECTION_H
+#define PSKETCH_SYNTH_PROJECTION_H
+
+#include "desugar/Flat.h"
+#include "verify/Trace.h"
+
+#include <vector>
+
+namespace psketch {
+namespace synth {
+
+/// A projected trace: the parallel-phase total order plus bookkeeping the
+/// symbolic encoder needs.
+struct ProjectedTrace {
+  /// The ordered parallel-phase steps (thread, pc).
+  std::vector<verify::TraceStep> Sequence;
+
+  /// True when the epilogue should be evaluated after the sequence — only
+  /// legal when every thread's full body is present (non-deadlock traces).
+  bool IncludeEpilogue = true;
+
+  /// Per thread: true if the projection dropped a suffix of its body
+  /// (deadlock truncation). A thread with dropped steps and no pending
+  /// projected step must be treated as "able to make progress" in the
+  /// deadlock check, otherwise correct candidates could be eliminated.
+  std::vector<bool> Truncated;
+
+  /// Index of the first deadlock-set step in Sequence (Sequence.size() if
+  /// none).
+  size_t DeadlockStart = 0;
+};
+
+/// Builds the projection of \p Cex onto the candidate space of \p FP.
+ProjectedTrace projectTrace(const flat::FlatProgram &FP,
+                            const verify::Counterexample &Cex);
+
+/// Builds the trivial projection containing every step of every thread in
+/// program order (thread 0 first). Used by the sequential (`implements`)
+/// CEGIS mode and by prologue-failure counterexamples.
+ProjectedTrace fullProgramOrder(const flat::FlatProgram &FP);
+
+} // namespace synth
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_PROJECTION_H

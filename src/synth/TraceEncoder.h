@@ -1,0 +1,116 @@
+//===- synth/TraceEncoder.h - Symbolic evaluation of traces -----*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds Sk_t[c]: the symbolic evaluation of a projected trace over the
+/// hole bits, producing `fail(Sk_t[c])` as a single circuit node. The
+/// inductive synthesizer asserts its negation, so the SAT solver searches
+/// only among candidates that survive every observation (Section 6).
+///
+/// The semantics mirror exec::Machine bit for bit: W-bit wrapped
+/// arithmetic, bounded node pool with mux-tree loads/stores, implicit
+/// memory-safety and pool-exhaustion failures, loop-bound asserts, and the
+/// paper's conditional-atomic encoding —
+///
+///   if (c) s;
+///   else if (some other thread can make progress) return OK;
+///   else assert 0; // deadlock
+///
+/// where "can make progress" inspects the next pending projected step of
+/// each other thread in the current symbolic state, and a thread whose
+/// suffix was truncated by deadlock projection conservatively counts as
+/// able to progress (see synth/Projection.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_TRACEENCODER_H
+#define PSKETCH_SYNTH_TRACEENCODER_H
+
+#include "circuit/BitVec.h"
+#include "circuit/Graph.h"
+#include "desugar/Flat.h"
+#include "synth/Projection.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace psketch {
+namespace synth {
+
+/// Overrides for initial scalar-global values, used by the sequential
+/// (`implements`) CEGIS mode to pin counterexample inputs and expected
+/// outputs. Pairs of (global id, value).
+using GlobalOverrides = std::vector<std::pair<unsigned, int64_t>>;
+
+/// Encodes projected traces of one flat program into a shared gate graph.
+/// Hole bit inputs are created once at construction and shared by every
+/// trace, so their SAT variables stay stable across CEGIS iterations.
+class TraceEncoder {
+public:
+  TraceEncoder(circuit::Graph &G, const flat::FlatProgram &FP);
+
+  /// The hole value bitvectors, indexed by hole id.
+  const std::vector<circuit::BitVec> &holeBits() const { return HoleBits; }
+
+  /// \returns the conjunction of hole range constraints (value <
+  /// NumChoices) and the program's static constraints (e.g. reorder
+  /// no-duplicates). Must be asserted once per solver.
+  circuit::NodeRef validity();
+
+  /// Symbolically evaluates the projected trace (prologue, sequence,
+  /// optionally epilogue). \returns the fail(Sk_t[c]) node.
+  circuit::NodeRef encodeTrace(const ProjectedTrace &PT,
+                               const GlobalOverrides &Overrides = {});
+
+private:
+  circuit::Graph &G;
+  const flat::FlatProgram &FP;
+  const ir::Program &P;
+
+  std::vector<circuit::BitVec> HoleBits;
+  std::vector<unsigned> GlobalOffsets;
+  unsigned NumGlobalSlots = 0;
+
+  /// Symbolic machine state during one trace encoding.
+  struct SymState {
+    std::vector<circuit::BitVec> Globals;
+    std::vector<circuit::BitVec> Heap;
+    circuit::BitVec AllocCount;
+    std::vector<std::vector<circuit::BitVec>> Locals; // per context
+    circuit::NodeRef Alive;
+    circuit::NodeRef Fail;
+  };
+
+  /// An evaluated expression: its value and "evaluation was memory-safe".
+  struct Val {
+    circuit::BitVec V;
+    circuit::NodeRef Safe;
+  };
+
+  unsigned widthOf(ir::Type Ty) const { return P.widthOf(Ty); }
+  circuit::NodeRef bit(const Val &B) { return circuit::bvNonZero(G, B.V); }
+
+  SymState initialState(const GlobalOverrides &Overrides);
+  Val evalExpr(SymState &St, unsigned Ctx, ir::ExprRef E);
+  /// Stores \p Value into \p L when \p Cond holds; \returns the address
+  /// safety condition.
+  circuit::NodeRef store(SymState &St, unsigned Ctx, const ir::Loc &L,
+                         circuit::NodeRef Cond, const circuit::BitVec &Value);
+  void execOps(SymState &St, unsigned Ctx, const flat::Step &Step,
+               circuit::NodeRef Eff);
+  void encodeStep(SymState &St, unsigned Ctx, const flat::Step &Step,
+                  circuit::NodeRef OthersProgress);
+  /// "Some other thread can make progress" at position \p Pos of \p PT.
+  circuit::NodeRef othersCanProgress(SymState &St, const ProjectedTrace &PT,
+                                     size_t Pos);
+};
+
+} // namespace synth
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_TRACEENCODER_H

@@ -1,0 +1,423 @@
+//===- verify/ModelChecker.cpp ---------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/ModelChecker.h"
+
+#include "support/Rng.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace psketch;
+using namespace psketch::verify;
+using exec::ExecOutcome;
+using exec::Machine;
+using exec::State;
+using exec::StepResult;
+using exec::Violation;
+
+std::string Counterexample::describe(const Machine &M) const {
+  std::string Out = format("violation: %s (phase %d)\n", V.Label.c_str(),
+                           static_cast<int>(Where));
+  for (const TraceStep &S : Steps) {
+    const flat::Step &St = M.bodyOf(S.Thread).Steps[S.Pc];
+    Out += format("  T%u#%u: %s\n", S.Thread, S.Pc, St.Label.c_str());
+  }
+  for (const TraceStep &S : DeadlockSet)
+    Out += format("  blocked T%u#%u\n", S.Thread, S.Pc);
+  return Out;
+}
+
+namespace {
+
+/// Thread readiness at a state.
+enum class Readiness : uint8_t { Finished, Ready, Blocked, WaitViolation };
+
+class Checker {
+public:
+  Checker(const Machine &M, const CheckerConfig &Cfg) : M(M), Cfg(Cfg) {}
+
+  CheckResult run();
+
+private:
+  const Machine &M;
+  const CheckerConfig &Cfg;
+  CheckResult Result;
+
+  Readiness readiness(State &S, unsigned Ctx, Violation &V) const {
+    uint32_t Pc = M.normalizePc(S, Ctx);
+    const flat::FlatBody &B = M.bodyOf(Ctx);
+    if (Pc >= B.Steps.size())
+      return Readiness::Finished;
+    const flat::Step &St = B.Steps[Pc];
+    if (St.DynGuard) {
+      int64_t Guard = M.eval(S, Ctx, St.DynGuard, V);
+      if (V.isViolation())
+        return Readiness::WaitViolation;
+      if (Guard == 0)
+        return Readiness::Ready; // dynamic no-op: always runnable
+    }
+    if (St.WaitCond) {
+      int64_t Wait = M.eval(S, Ctx, St.WaitCond, V);
+      if (V.isViolation())
+        return Readiness::WaitViolation;
+      if (Wait == 0)
+        return Readiness::Blocked;
+    }
+    return Readiness::Ready;
+  }
+
+  /// Runs every pending thread-local step (POR). \returns false and fills
+  /// \p Cex on a violation inside a local step.
+  bool advanceLocal(State &S, std::vector<TraceStep> &Path,
+                    Counterexample &Cex) {
+    if (!Cfg.UsePOR)
+      return true;
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (unsigned Ctx = 0; Ctx < M.numThreads(); ++Ctx) {
+        while (M.nextStepIsLocal(S, Ctx)) {
+          Violation V;
+          ExecOutcome Out = M.execStep(S, Ctx, V);
+          if (Out.Result == StepResult::Violated) {
+            Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
+            Cex.Steps = Path;
+            Cex.V = V;
+            Cex.Where = Counterexample::Phase::Parallel;
+            return false;
+          }
+          assert(Out.Result == StepResult::Ok && "local step must run");
+          Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
+          Progress = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Classifies all threads. Fills \p ReadyOut, \p BlockedOut. \returns
+  /// false and fills \p Cex if evaluating some wait condition violates
+  /// memory safety.
+  bool classifyAll(State &S, std::vector<unsigned> &ReadyOut,
+                   std::vector<TraceStep> &BlockedOut,
+                   const std::vector<TraceStep> &Path, Counterexample &Cex) {
+    ReadyOut.clear();
+    BlockedOut.clear();
+    for (unsigned Ctx = 0; Ctx < M.numThreads(); ++Ctx) {
+      Violation V;
+      switch (readiness(S, Ctx, V)) {
+      case Readiness::Finished:
+        break;
+      case Readiness::Ready:
+        ReadyOut.push_back(Ctx);
+        break;
+      case Readiness::Blocked:
+        BlockedOut.push_back(TraceStep{Ctx, S.Pc[Ctx]});
+        break;
+      case Readiness::WaitViolation:
+        Cex.Steps = Path;
+        Cex.Steps.push_back(TraceStep{Ctx, S.Pc[Ctx]});
+        Cex.V = V;
+        Cex.Where = Counterexample::Phase::Parallel;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Checks the epilogue from a fully-finished parallel state. \returns
+  /// true if the run is clean.
+  bool checkEpilogue(const State &S, const std::vector<TraceStep> &Path,
+                     Counterexample &Cex) {
+    State Copy = S;
+    Violation V;
+    if (M.runToCompletion(Copy, M.epilogueCtx(), V))
+      return true;
+    Cex.Steps = Path;
+    Cex.V = V;
+    Cex.Where = Counterexample::Phase::Epilogue;
+    return false;
+  }
+
+  /// One random schedule. \returns true if it completed cleanly.
+  bool randomRun(const State &Start, Rng &R, Counterexample &Cex) {
+    State S = Start;
+    std::vector<TraceStep> Path;
+    std::vector<unsigned> Ready;
+    std::vector<TraceStep> Blocked;
+    for (;;) {
+      if (!advanceLocal(S, Path, Cex))
+        return false;
+      if (!classifyAll(S, Ready, Blocked, Path, Cex))
+        return false;
+      if (Ready.empty()) {
+        if (Blocked.empty())
+          return checkEpilogue(S, Path, Cex);
+        // All live threads blocked: deadlock.
+        Cex.Steps = Path;
+        Cex.V.VKind = Violation::Kind::Deadlock;
+        Cex.V.Label = "deadlock: all live threads blocked";
+        Cex.Where = Counterexample::Phase::Parallel;
+        Cex.DeadlockSet = Blocked;
+        return false;
+      }
+      unsigned Ctx = Ready[R.below(Ready.size())];
+      Violation V;
+      ExecOutcome Out = M.execStep(S, Ctx, V);
+      if (Out.Result == StepResult::Violated) {
+        Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
+        Cex.Steps = Path;
+        Cex.V = V;
+        Cex.Where = Counterexample::Phase::Parallel;
+        return false;
+      }
+      assert(Out.Result == StepResult::Ok && "ready thread must step");
+      Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
+    }
+  }
+
+  /// Exhaustive DFS with state dedup. \returns true if no violation is
+  /// reachable (within the state budget).
+  bool dfs(const State &Start, Counterexample &Cex);
+
+  /// Exhaustive BFS with state dedup: finds shortest counterexamples.
+  bool bfs(const State &Start, Counterexample &Cex);
+};
+
+bool Checker::bfs(const State &Start, Counterexample &Cex) {
+  // Search nodes keep parent links so counterexample paths can be
+  // reconstructed without storing a path per node.
+  struct Node {
+    State S;
+    int Parent = -1;
+    std::vector<TraceStep> Steps; ///< steps taken from the parent
+  };
+  std::vector<Node> Nodes;
+  std::unordered_set<std::string> Visited;
+
+  auto ReconstructTo = [&](int Index, std::vector<TraceStep> &Out) {
+    std::vector<int> Chain;
+    for (int I = Index; I >= 0; I = Nodes[I].Parent)
+      Chain.push_back(I);
+    Out.clear();
+    for (auto It = Chain.rbegin(); It != Chain.rend(); ++It)
+      Out.insert(Out.end(), Nodes[*It].Steps.begin(),
+                 Nodes[*It].Steps.end());
+  };
+
+  // Enters a state: runs its local chain, dedups, appends a node.
+  // Returns false if a counterexample was found.
+  auto Enter = [&](State S, int Parent,
+                   std::vector<TraceStep> Prefix) -> bool {
+    std::vector<TraceStep> Chain = std::move(Prefix);
+    Counterexample Local;
+    std::vector<TraceStep> Scratch;
+    if (!advanceLocal(S, Scratch, Local)) {
+      // Violation inside the local chain.
+      ReconstructTo(Parent, Cex.Steps);
+      Cex.Steps.insert(Cex.Steps.end(), Chain.begin(), Chain.end());
+      Cex.Steps.insert(Cex.Steps.end(), Local.Steps.begin(),
+                       Local.Steps.end());
+      Cex.V = Local.V;
+      Cex.Where = Local.Where;
+      Cex.DeadlockSet = Local.DeadlockSet;
+      return false;
+    }
+    Chain.insert(Chain.end(), Scratch.begin(), Scratch.end());
+    if (!Visited.insert(M.encodeState(S)).second) {
+      ++Result.StatesDeduped;
+      return true;
+    }
+    ++Result.StatesExplored;
+    if (Result.StatesExplored >= Cfg.MaxStates)
+      Result.Exhausted = true;
+    Node N;
+    N.S = std::move(S);
+    N.Parent = Parent;
+    N.Steps = std::move(Chain);
+    Nodes.push_back(std::move(N));
+    return true;
+  };
+
+  if (!Enter(Start, -1, {}))
+    return false;
+
+  for (size_t Head = 0; Head < Nodes.size() && !Result.Exhausted; ++Head) {
+    // Copy out what we need: Enter() may reallocate Nodes.
+    State S = Nodes[Head].S;
+    std::vector<unsigned> Ready;
+    std::vector<TraceStep> Blocked;
+    std::vector<TraceStep> Path; // only needed on failure
+    if (!classifyAll(S, Ready, Blocked, Path, Cex)) {
+      std::vector<TraceStep> Extra = std::move(Cex.Steps);
+      ReconstructTo(static_cast<int>(Head), Cex.Steps);
+      Cex.Steps.insert(Cex.Steps.end(), Extra.begin(), Extra.end());
+      return false;
+    }
+    if (Ready.empty()) {
+      if (!Blocked.empty()) {
+        ReconstructTo(static_cast<int>(Head), Cex.Steps);
+        Cex.V.VKind = Violation::Kind::Deadlock;
+        Cex.V.Label = "deadlock: all live threads blocked";
+        Cex.Where = Counterexample::Phase::Parallel;
+        Cex.DeadlockSet = Blocked;
+        return false;
+      }
+      ReconstructTo(static_cast<int>(Head), Path);
+      if (!checkEpilogue(S, Path, Cex))
+        return false;
+      continue;
+    }
+    for (unsigned Ctx : Ready) {
+      State Next = S;
+      Violation V;
+      ExecOutcome Out = M.execStep(Next, Ctx, V);
+      if (Out.Result == StepResult::Violated) {
+        ReconstructTo(static_cast<int>(Head), Cex.Steps);
+        Cex.Steps.push_back(TraceStep{Ctx, Out.ExecutedPc});
+        Cex.V = V;
+        Cex.Where = Counterexample::Phase::Parallel;
+        return false;
+      }
+      assert(Out.Result == StepResult::Ok && "ready thread must step");
+      if (!Enter(std::move(Next), static_cast<int>(Head),
+                 {TraceStep{Ctx, Out.ExecutedPc}}))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool Checker::dfs(const State &Start, Counterexample &Cex) {
+  struct Frame {
+    State S;
+    std::vector<unsigned> Choices;
+    size_t NextChoice = 0;
+    size_t PathLen = 0;
+  };
+
+  std::vector<Frame> Stack;
+  std::vector<TraceStep> Path;
+  std::unordered_set<std::string> Visited;
+
+  // Pushes a state after running its local chain; handles terminal states.
+  // Returns false if a counterexample was found.
+  auto PushState = [&](State S) -> bool {
+    if (!advanceLocal(S, Path, Cex))
+      return false;
+    std::string Key = M.encodeState(S);
+    if (!Visited.insert(std::move(Key)).second) {
+      ++Result.StatesDeduped;
+      return true; // already explored; not a counterexample
+    }
+    ++Result.StatesExplored;
+    if (Result.StatesExplored >= Cfg.MaxStates)
+      Result.Exhausted = true;
+
+    std::vector<unsigned> Ready;
+    std::vector<TraceStep> Blocked;
+    if (!classifyAll(S, Ready, Blocked, Path, Cex))
+      return false;
+    if (Ready.empty()) {
+      if (!Blocked.empty()) {
+        Cex.Steps = Path;
+        Cex.V.VKind = Violation::Kind::Deadlock;
+        Cex.V.Label = "deadlock: all live threads blocked";
+        Cex.Where = Counterexample::Phase::Parallel;
+        Cex.DeadlockSet = Blocked;
+        return false;
+      }
+      return checkEpilogue(S, Path, Cex); // leaf: parallel phase done
+    }
+    Frame F;
+    F.S = std::move(S);
+    F.Choices = std::move(Ready);
+    F.PathLen = Path.size();
+    Stack.push_back(std::move(F));
+    return true;
+  };
+
+  if (!PushState(Start))
+    return false;
+
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.NextChoice >= Top.Choices.size() || Result.Exhausted) {
+      Stack.pop_back();
+      if (!Stack.empty())
+        Path.resize(Stack.back().PathLen);
+      continue;
+    }
+    Path.resize(Top.PathLen);
+    unsigned Ctx = Top.Choices[Top.NextChoice++];
+    State Next = Top.S;
+    Violation V;
+    ExecOutcome Out = M.execStep(Next, Ctx, V);
+    if (Out.Result == StepResult::Violated) {
+      Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
+      Cex.Steps = Path;
+      Cex.V = V;
+      Cex.Where = Counterexample::Phase::Parallel;
+      return false;
+    }
+    assert(Out.Result == StepResult::Ok && "chosen thread must step");
+    Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
+    if (!PushState(std::move(Next)))
+      return false;
+  }
+  return true;
+}
+
+CheckResult Checker::run() {
+  // Phase 1: the deterministic prologue.
+  State S0 = M.initialState();
+  {
+    Violation V;
+    if (!M.runToCompletion(S0, M.prologueCtx(), V)) {
+      Counterexample Cex;
+      Cex.Where = Counterexample::Phase::Prologue;
+      Cex.V = V;
+      Result.Ok = false;
+      Result.Cex = std::move(Cex);
+      return Result;
+    }
+  }
+
+  // Phase 2: cheap random falsification.
+  if (Cfg.UseRandomFalsifier) {
+    Rng R(Cfg.Seed);
+    for (unsigned I = 0; I < Cfg.RandomRuns; ++I) {
+      ++Result.RandomRunsUsed;
+      Counterexample Cex;
+      if (!randomRun(S0, R, Cex)) {
+        Result.Ok = false;
+        Result.Cex = std::move(Cex);
+        return Result;
+      }
+    }
+  }
+
+  // Phase 3: exhaustive search.
+  Counterexample Cex;
+  bool Clean = Cfg.Order == SearchOrder::Bfs ? bfs(S0, Cex) : dfs(S0, Cex);
+  if (!Clean) {
+    Result.Ok = false;
+    Result.Cex = std::move(Cex);
+    return Result;
+  }
+  Result.Ok = true;
+  return Result;
+}
+
+} // namespace
+
+CheckResult psketch::verify::checkCandidate(const Machine &M,
+                                            const CheckerConfig &Cfg) {
+  Checker C(M, Cfg);
+  return C.run();
+}

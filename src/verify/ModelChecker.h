@@ -1,0 +1,71 @@
+//===- verify/ModelChecker.h - Explicit-state model checking ----*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verification procedure of the CEGIS loop: an explicit-state model
+/// checker over all thread interleavings of one candidate, standing in for
+/// the paper's use of SPIN [13]. It checks the same properties PSKETCH
+/// delegates to its verifier: programmer assertions, implicit memory
+/// safety, bounded termination (loop-bound asserts injected by the
+/// flattener), and deadlock freedom; and it produces exactly what the
+/// synthesizer needs — a bounded counterexample trace.
+///
+/// Two standard engineering devices (both ablatable, see DESIGN.md):
+///  * a random-schedule falsifier runs first, because most bad candidates
+///    die on one of a handful of cheap random schedules;
+///  * a partial-order reduction executes steps that touch only
+///    thread-local state (or whose guard is dynamically false) without a
+///    scheduling choice — they commute with every other thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_VERIFY_MODELCHECKER_H
+#define PSKETCH_VERIFY_MODELCHECKER_H
+
+#include "exec/Machine.h"
+#include "verify/Trace.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace psketch {
+namespace verify {
+
+/// Exhaustive-search order. DFS is cheaper on memory; BFS returns
+/// shortest counterexamples, which can be stronger observations for the
+/// synthesizer (measured by bench_cex_ablation).
+enum class SearchOrder : uint8_t { Dfs, Bfs };
+
+/// Tuning knobs for the checker.
+struct CheckerConfig {
+  bool UseRandomFalsifier = true; ///< try random schedules before DFS
+  unsigned RandomRuns = 64;       ///< how many random schedules
+  bool UsePOR = true;             ///< run local steps without branching
+  SearchOrder Order = SearchOrder::Dfs;
+  uint64_t MaxStates = 4000000;   ///< exploration safety net
+  uint64_t Seed = 1;              ///< random falsifier seed
+};
+
+/// The checker's verdict.
+struct CheckResult {
+  bool Ok = false;        ///< no violation found
+  bool Exhausted = false; ///< hit MaxStates: Ok means "up to the budget"
+  std::optional<Counterexample> Cex;
+  uint64_t StatesExplored = 0;
+  uint64_t StatesDeduped = 0;
+  uint64_t RandomRunsUsed = 0;
+};
+
+/// Model-checks one candidate (a Machine is a program plus a hole
+/// assignment).
+CheckResult checkCandidate(const exec::Machine &M,
+                           const CheckerConfig &Cfg = CheckerConfig());
+
+} // namespace verify
+} // namespace psketch
+
+#endif // PSKETCH_VERIFY_MODELCHECKER_H

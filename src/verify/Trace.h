@@ -1,0 +1,64 @@
+//===- verify/Trace.h - Counterexample traces -------------------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counterexample vocabulary shared by the model checker and the
+/// inductive synthesizer. A trace is a sequence of (thread, step) pairs in
+/// execution order — exactly the paper's notion of an observation: "Each
+/// observation is a fixed thread schedule."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_VERIFY_TRACE_H
+#define PSKETCH_VERIFY_TRACE_H
+
+#include "exec/Machine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace verify {
+
+/// One executed (or blocking) step of the parallel phase.
+struct TraceStep {
+  unsigned Thread = 0;
+  uint32_t Pc = 0;
+
+  bool operator==(const TraceStep &O) const {
+    return Thread == O.Thread && Pc == O.Pc;
+  }
+};
+
+/// A failing execution of one candidate.
+struct Counterexample {
+  enum class Phase : uint8_t { Prologue, Parallel, Epilogue };
+
+  /// Where the violation fired. Prologue/epilogue are deterministic, so
+  /// the parallel steps still fully determine the failure.
+  Phase Where = Phase::Parallel;
+
+  /// Parallel-phase steps in execution order (dynamic no-ops included;
+  /// statically dead steps never appear).
+  std::vector<TraceStep> Steps;
+
+  /// The violation itself.
+  exec::Violation V;
+
+  /// For deadlocks: the blocked conditional-atomic step of each live
+  /// thread (the paper's deadlock set D).
+  std::vector<TraceStep> DeadlockSet;
+
+  /// Human-readable rendering for diagnostics.
+  std::string describe(const exec::Machine &M) const;
+};
+
+} // namespace verify
+} // namespace psketch
+
+#endif // PSKETCH_VERIFY_TRACE_H

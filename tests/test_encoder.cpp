@@ -1,0 +1,347 @@
+//===- tests/test_encoder.cpp - symbolic/concrete agreement ----------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The central soundness property of the whole system: evaluating the
+/// symbolic encoding fail(Sk_t[c]) at a concrete candidate c must agree
+/// with concretely executing the projected trace under c. If these ever
+/// disagreed, CEGIS could loop forever (the synthesizer would keep
+/// proposing a candidate the verifier rejects) or prune correct
+/// candidates. We check the property on hand-written programs and, as a
+/// parameterized sweep, on the paper's benchmark sketches under random
+/// candidates and random schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Barrier.h"
+#include "benchmarks/Dining.h"
+#include "benchmarks/FineSet.h"
+#include "benchmarks/LazySet.h"
+#include "benchmarks/Queue.h"
+#include "benchmarks/Workload.h"
+#include "circuit/Graph.h"
+#include "desugar/Flatten.h"
+#include "ir/StaticEval.h"
+#include "support/Rng.h"
+#include "synth/TraceEncoder.h"
+#include "verify/ModelChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+using namespace psketch::ir;
+using namespace psketch::synth;
+using namespace psketch::verify;
+using exec::Machine;
+using exec::State;
+using exec::Violation;
+
+namespace {
+
+/// Flattens hole values into the encoder's input-bit order.
+std::vector<bool> inputBitsFor(const Program &P, const HoleAssignment &H) {
+  std::vector<bool> Bits;
+  for (size_t I = 0; I < P.holes().size(); ++I)
+    for (unsigned B = 0; B < P.holes()[I].Width; ++B)
+      Bits.push_back(((H.size() > I ? H[I] : 0) >> B) & 1);
+  return Bits;
+}
+
+/// Executes one random schedule to completion, violation, or deadlock.
+/// \returns true if the run failed; fills \p CexOut with the trace either
+/// way (a clean run is still a projectable observation).
+bool randomRun(const Machine &M, Rng &R, Counterexample &CexOut) {
+  State S = M.initialState();
+  Violation V;
+  if (!M.runToCompletion(S, M.prologueCtx(), V)) {
+    CexOut.Where = Counterexample::Phase::Prologue;
+    CexOut.V = V;
+    return true;
+  }
+  for (;;) {
+    std::vector<unsigned> Ready;
+    std::vector<TraceStep> Blocked;
+    for (unsigned T = 0; T < M.numThreads(); ++T) {
+      State Probe = S;
+      Violation PV;
+      exec::ExecOutcome Out = M.execStep(Probe, T, PV);
+      switch (Out.Result) {
+      case exec::StepResult::Finished:
+        break;
+      case exec::StepResult::Blocked:
+        Blocked.push_back(TraceStep{T, Out.ExecutedPc});
+        break;
+      case exec::StepResult::Ok:
+        Ready.push_back(T);
+        break;
+      case exec::StepResult::Violated:
+        CexOut.Steps.push_back(TraceStep{T, Out.ExecutedPc});
+        CexOut.V = PV;
+        CexOut.Where = Counterexample::Phase::Parallel;
+        return true;
+      }
+    }
+    if (Ready.empty()) {
+      if (!Blocked.empty()) {
+        CexOut.V.VKind = Violation::Kind::Deadlock;
+        CexOut.V.Label = "deadlock";
+        CexOut.Where = Counterexample::Phase::Parallel;
+        CexOut.DeadlockSet = Blocked;
+        return true;
+      }
+      break; // all threads finished
+    }
+    unsigned T = Ready[R.below(Ready.size())];
+    Violation SV;
+    exec::ExecOutcome Out = M.execStep(S, T, SV);
+    EXPECT_EQ(Out.Result, exec::StepResult::Ok);
+    CexOut.Steps.push_back(TraceStep{T, Out.ExecutedPc});
+  }
+  if (!M.runToCompletion(S, M.epilogueCtx(), V)) {
+    CexOut.V = V;
+    CexOut.Where = Counterexample::Phase::Epilogue;
+    return true;
+  }
+  return false;
+}
+
+/// Evaluates the symbolic fail() of the projected \p Cex at candidate \p H.
+bool symbolicVerdict(Program &P, const flat::FlatProgram &FP,
+                     const Counterexample &Cex, const HoleAssignment &H) {
+  circuit::Graph G;
+  TraceEncoder Enc(G, FP);
+  ProjectedTrace PT = Cex.Where == Counterexample::Phase::Prologue
+                          ? fullProgramOrder(FP)
+                          : projectTrace(FP, Cex);
+  circuit::NodeRef Fail = Enc.encodeTrace(PT);
+  return G.evaluate(Fail, inputBitsFor(P, H));
+}
+
+/// Draws a random candidate that satisfies the program's static
+/// constraints (rejection sampling).
+HoleAssignment randomCandidate(const Program &P, Rng &R) {
+  for (int Attempt = 0; Attempt < 10000; ++Attempt) {
+    HoleAssignment H;
+    for (const Hole &Ho : P.holes())
+      H.push_back(R.below(Ho.NumChoices));
+    bool Legal = true;
+    for (ExprRef C : P.staticConstraints()) {
+      auto V = tryEvalStatic(P, C, H);
+      if (!V || *V == 0) {
+        Legal = false;
+        break;
+      }
+    }
+    if (Legal)
+      return H;
+  }
+  ADD_FAILURE() << "could not sample a legal candidate";
+  return HoleAssignment(P.holes().size(), 0);
+}
+
+/// The agreement property over many candidates and schedules.
+void checkAgreement(Program &P, unsigned Candidates, unsigned Schedules,
+                    uint64_t Seed) {
+  flat::FlatProgram FP = flat::flatten(P);
+  Rng R(Seed);
+  for (unsigned C = 0; C < Candidates; ++C) {
+    HoleAssignment H = randomCandidate(P, R);
+    Machine M(FP, H);
+    for (unsigned S = 0; S < Schedules; ++S) {
+      Counterexample Cex;
+      bool ConcreteFail = randomRun(M, R, Cex);
+      bool SymbolicFail = symbolicVerdict(P, FP, Cex, H);
+      ASSERT_EQ(SymbolicFail, ConcreteFail)
+          << "candidate " << C << " schedule " << S
+          << " violation=" << Cex.V.Label;
+    }
+  }
+}
+
+} // namespace
+
+TEST(Encoder, CleanSequentialRunDoesNotFail) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T), P.assign(P.locGlobal(X), P.constInt(5)));
+  P.setRoot(BodyId::epilogue(),
+            P.assertS(P.eq(P.global(X), P.constInt(5)), "x==5"));
+  flat::FlatProgram FP = flat::flatten(P);
+  Machine M(FP, {});
+  Rng R(1);
+  Counterexample Cex;
+  EXPECT_FALSE(randomRun(M, R, Cex));
+  EXPECT_FALSE(symbolicVerdict(P, FP, Cex, {}));
+}
+
+TEST(Encoder, FailingAssertIsEncoded) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T), P.assign(P.locGlobal(X), P.constInt(4)));
+  P.setRoot(BodyId::epilogue(),
+            P.assertS(P.eq(P.global(X), P.constInt(5)), "x==5"));
+  flat::FlatProgram FP = flat::flatten(P);
+  Machine M(FP, {});
+  Rng R(1);
+  Counterexample Cex;
+  EXPECT_TRUE(randomRun(M, R, Cex));
+  EXPECT_TRUE(symbolicVerdict(P, FP, Cex, {}));
+}
+
+TEST(Encoder, HoleDependentVerdict) {
+  // fail(c) must be a genuine function of the hole bits.
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned H = P.addHole("h", 8);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T), P.assign(P.locGlobal(X), P.holeValue(H)));
+  P.setRoot(BodyId::epilogue(),
+            P.assertS(P.eq(P.global(X), P.constInt(5)), "x==5"));
+  flat::FlatProgram FP = flat::flatten(P);
+  circuit::Graph G;
+  TraceEncoder Enc(G, FP);
+  circuit::NodeRef Fail = Enc.encodeTrace(fullProgramOrder(FP));
+  for (uint64_t V = 0; V < 8; ++V)
+    EXPECT_EQ(G.evaluate(Fail, inputBitsFor(P, {V})), V != 5) << V;
+}
+
+TEST(Encoder, DeadlockTraceFailsSymbolically) {
+  Program P;
+  unsigned L0 = P.addGlobal("lock0", Type::Int, -1);
+  unsigned L1 = P.addGlobal("lock1", Type::Int, -1);
+  for (int T = 0; T < 2; ++T) {
+    unsigned Id = P.addThread("phil");
+    unsigned First = T == 0 ? L0 : L1;
+    unsigned Second = T == 0 ? L1 : L0;
+    ExprRef Pid = P.constInt(T);
+    P.setRoot(
+        BodyId::thread(Id),
+        P.seq({P.lock(P.locGlobal(First), P.global(First), Pid),
+               P.lock(P.locGlobal(Second), P.global(Second), Pid),
+               P.unlock(P.locGlobal(Second), P.global(Second), Pid, "s"),
+               P.unlock(P.locGlobal(First), P.global(First), Pid, "f")}));
+  }
+  flat::FlatProgram FP = flat::flatten(P);
+  Machine M(FP, {});
+  CheckResult R = checkCandidate(M);
+  ASSERT_FALSE(R.Ok);
+  ASSERT_EQ(R.Cex->V.VKind, Violation::Kind::Deadlock);
+  EXPECT_TRUE(symbolicVerdict(P, FP, *R.Cex, {}));
+}
+
+TEST(Encoder, BlockedButOthersProgressIsNotAFailure) {
+  // Thread 0 waits for x == 1, thread 1 sets it. A trace in which thread
+  // 0's wait comes first must not be scored as a failure for this
+  // candidate (the paper's "return OK" arm).
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T0 = P.addThread("waiter");
+  unsigned T1 = P.addThread("setter");
+  P.setRoot(BodyId::thread(T0),
+            P.condAtomic(P.eq(P.global(X), P.constInt(1)), P.nop()));
+  P.setRoot(BodyId::thread(T1), P.assign(P.locGlobal(X), P.constInt(1)));
+  flat::FlatProgram FP = flat::flatten(P);
+  // Hand-build a projected trace that schedules the wait first.
+  ProjectedTrace PT;
+  PT.Truncated.assign(2, false);
+  PT.Sequence = {{0, 0}, {1, 0}};
+  PT.IncludeEpilogue = true;
+  PT.DeadlockStart = 2;
+  circuit::Graph G;
+  TraceEncoder Enc(G, FP);
+  circuit::NodeRef Fail = Enc.encodeTrace(PT);
+  EXPECT_FALSE(G.evaluate(Fail, {}));
+}
+
+TEST(Encoder, GlobalOverridesPinInputs) {
+  Program P;
+  unsigned In = P.addGlobal("in", Type::Int, 0);
+  unsigned Out = P.addGlobal("out", Type::Int, 0);
+  unsigned H = P.addHole("h", 4);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.assign(P.locGlobal(Out),
+                     P.add(P.global(In), P.holeValue(H))));
+  P.setRoot(BodyId::epilogue(),
+            P.assertS(P.eq(P.global(Out), P.constInt(7)), "out==7"));
+  flat::FlatProgram FP = flat::flatten(P);
+  circuit::Graph G;
+  TraceEncoder Enc(G, FP);
+  circuit::NodeRef Fail = Enc.encodeTrace(fullProgramOrder(FP), {{In, 5}});
+  // With in == 5, only h == 2 avoids failure.
+  for (uint64_t V = 0; V < 4; ++V)
+    EXPECT_EQ(G.evaluate(Fail, inputBitsFor(P, {V})), V != 2) << V;
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized agreement sweeps over the paper's benchmarks.
+//===----------------------------------------------------------------------===//
+
+class EncoderAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderAgreement, QueueDE1) {
+  using namespace psketch::bench;
+  // Exponential encoding: no static constraints, denser sampling.
+  QueueOptions O{false, true, ReorderEncoding::Exponential};
+  auto P = buildQueue(parseWorkload("ed(ed|ed)"), O);
+  checkAgreement(*P, 6, 3, 1000 + GetParam());
+}
+
+TEST_P(EncoderAgreement, QueueE2) {
+  using namespace psketch::bench;
+  QueueOptions O{true, false, ReorderEncoding::Quadratic};
+  auto P = buildQueue(parseWorkload("ed(ed|ed)"), O);
+  checkAgreement(*P, 6, 3, 2000 + GetParam());
+}
+
+TEST_P(EncoderAgreement, FineSet) {
+  using namespace psketch::bench;
+  FineSetOptions O{false, ReorderEncoding::Exponential};
+  auto P = buildFineSet(parseWorkload("ar(ar|ar)"), O);
+  checkAgreement(*P, 5, 2, 3000 + GetParam());
+}
+
+TEST_P(EncoderAgreement, Barrier) {
+  using namespace psketch::bench;
+  BarrierOptions O{2, 2, true, ReorderEncoding::Exponential};
+  auto P = buildBarrier(O);
+  checkAgreement(*P, 5, 3, 4000 + GetParam());
+}
+
+TEST_P(EncoderAgreement, Dining) {
+  using namespace psketch::bench;
+  auto P = buildDining(DiningOptions{3, 2});
+  checkAgreement(*P, 6, 3, 5000 + GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderAgreement, ::testing::Range(0, 4));
+
+#include "benchmarks/DList.h"
+#include "benchmarks/Stack.h"
+
+TEST_P(EncoderAgreement, TreiberStack) {
+  using namespace psketch::bench;
+  StackOptions O;
+  O.Encoding = ReorderEncoding::Exponential;
+  auto P = buildStack(parseWorkload("p(po|po)"), O);
+  checkAgreement(*P, 5, 3, 6000 + GetParam());
+}
+
+TEST_P(EncoderAgreement, DoublyLinkedList) {
+  using namespace psketch::bench;
+  DListOptions O;
+  O.Encoding = ReorderEncoding::Exponential;
+  auto P = buildDList(parseWorkload("i(i|i)"), O);
+  checkAgreement(*P, 5, 3, 7000 + GetParam());
+}
+
+TEST_P(EncoderAgreement, LazySet) {
+  using namespace psketch::bench;
+  auto P = buildLazySet(parseWorkload("ar(ar|ar)"));
+  checkAgreement(*P, 6, 3, 8000 + GetParam());
+}

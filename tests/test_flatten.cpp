@@ -1,0 +1,303 @@
+//===- tests/test_flatten.cpp - if-conversion tests ------------------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+
+#include "desugar/Flatten.h"
+#include "exec/Machine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace psketch;
+using namespace psketch::ir;
+using namespace psketch::flat;
+
+namespace {
+
+/// Runs a single-thread flat program to completion and returns the final
+/// state (aborts the test on violation).
+exec::State runSingle(const FlatProgram &FP, const HoleAssignment &H) {
+  exec::Machine M(FP, H);
+  exec::State S = M.initialState();
+  exec::Violation V;
+  EXPECT_TRUE(M.runToCompletion(S, M.prologueCtx(), V)) << V.Label;
+  for (unsigned T = 0; T < M.numThreads(); ++T)
+    EXPECT_TRUE(M.runToCompletion(S, T, V)) << V.Label;
+  EXPECT_TRUE(M.runToCompletion(S, M.epilogueCtx(), V)) << V.Label;
+  return S;
+}
+
+} // namespace
+
+TEST(Flatten, StraightLineProducesOneStepPerStatement) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.seq({P.assign(P.locGlobal(X), P.constInt(1)),
+                   P.assign(P.locGlobal(X), P.constInt(2))}));
+  FlatProgram FP = flatten(P);
+  EXPECT_EQ(FP.Threads[0].Steps.size(), 2u);
+  EXPECT_TRUE(FP.Threads[0].Steps[0].TouchesShared);
+}
+
+TEST(Flatten, IfIntroducesEvalStepAndTemps) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  size_t LocalsBefore = P.body(BodyId::thread(T)).Locals.size();
+  P.setRoot(BodyId::thread(T),
+            P.ifS(P.eq(P.global(X), P.constInt(0)),
+                  P.assign(P.locGlobal(X), P.constInt(1)),
+                  P.assign(P.locGlobal(X), P.constInt(2))));
+  FlatProgram FP = flatten(P);
+  // eval step + then step + else step
+  EXPECT_EQ(FP.Threads[0].Steps.size(), 3u);
+  EXPECT_EQ(P.body(BodyId::thread(T)).Locals.size(), LocalsBefore + 2);
+  EXPECT_NE(FP.Threads[0].Steps[1].DynGuard, nullptr);
+  EXPECT_NE(FP.Threads[0].Steps[2].DynGuard, nullptr);
+}
+
+TEST(Flatten, HoleOnlyIfStaysStatic) {
+  Program P;
+  unsigned H = P.addHole("h", 2);
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.ifS(P.eq(P.holeValue(H), P.constInt(1)),
+                  P.assign(P.locGlobal(X), P.constInt(1))));
+  FlatProgram FP = flatten(P);
+  // No eval step: the guard is a static (hole-only) condition.
+  ASSERT_EQ(FP.Threads[0].Steps.size(), 1u);
+  EXPECT_NE(FP.Threads[0].Steps[0].StaticGuard, nullptr);
+  EXPECT_EQ(FP.Threads[0].Steps[0].DynGuard, nullptr);
+}
+
+TEST(Flatten, BranchConditionEvaluatedOnce) {
+  // if (x == 0) x = 1; else y = 1;  -- the then-arm falsifies the
+  // condition; the else-arm must NOT also fire.
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned Y = P.addGlobal("y", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.ifS(P.eq(P.global(X), P.constInt(0)),
+                  P.assign(P.locGlobal(X), P.constInt(1)),
+                  P.assign(P.locGlobal(Y), P.constInt(1))));
+  FlatProgram FP = flatten(P);
+  exec::Machine M(FP, {});
+  exec::State S = runSingle(FP, {});
+  EXPECT_EQ(S.Globals[M.globalOffset(X)], 1);
+  EXPECT_EQ(S.Globals[M.globalOffset(Y)], 0);
+}
+
+TEST(Flatten, AtomicIfConditionCapturedOnce) {
+  // The same both-arms hazard inside an atomic section.
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned Y = P.addGlobal("y", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.atomic(P.ifS(P.eq(P.global(X), P.constInt(0)),
+                           P.assign(P.locGlobal(X), P.constInt(1)),
+                           P.assign(P.locGlobal(Y), P.constInt(1)))));
+  FlatProgram FP = flatten(P);
+  ASSERT_EQ(FP.Threads[0].Steps.size(), 1u); // one atomic step
+  exec::Machine M(FP, {});
+  exec::State S = runSingle(FP, {});
+  EXPECT_EQ(S.Globals[M.globalOffset(X)], 1);
+  EXPECT_EQ(S.Globals[M.globalOffset(Y)], 0);
+}
+
+TEST(Flatten, WhileUnrollsAndBoundAsserts) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.whileS(P.lt(P.global(X), P.constInt(3)),
+                     P.assign(P.locGlobal(X),
+                              P.add(P.global(X), P.constInt(1))),
+                     /*UnrollBound=*/5));
+  FlatProgram FP = flatten(P);
+  // 5 x (eval + body) + bound assert
+  EXPECT_EQ(FP.Threads[0].Steps.size(), 11u);
+  exec::Machine M(FP, {});
+  exec::State S = runSingle(FP, {});
+  EXPECT_EQ(S.Globals[M.globalOffset(X)], 3);
+}
+
+TEST(Flatten, WhileBoundViolationDetected) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.whileS(P.lt(P.global(X), P.constInt(10)),
+                     P.assign(P.locGlobal(X),
+                              P.add(P.global(X), P.constInt(1))),
+                     /*UnrollBound=*/3));
+  FlatProgram FP = flatten(P);
+  exec::Machine M(FP, {});
+  exec::State S = M.initialState();
+  exec::Violation V;
+  EXPECT_FALSE(M.runToCompletion(S, 0, V));
+  EXPECT_EQ(V.VKind, exec::Violation::Kind::AssertFail);
+  EXPECT_NE(V.Label.find("loop bound"), std::string::npos);
+}
+
+TEST(Flatten, SwapCapturesValueBeforeOverwrite) {
+  // tmp = AtomicSwap(x, tmp + 1): the value must use the OLD tmp.
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 10);
+  unsigned T = P.addThread("t");
+  unsigned LTmp = P.addLocal(BodyId::thread(T), "tmp", Type::Int, 5);
+  P.setRoot(BodyId::thread(T),
+            P.swap("", P.locLocal(LTmp), {P.locGlobal(X)},
+                   P.add(P.local(LTmp, Type::Int), P.constInt(1))));
+  FlatProgram FP = flatten(P);
+  exec::Machine M(FP, {});
+  exec::State S = runSingle(FP, {});
+  EXPECT_EQ(S.Locals[0][LTmp], 10); // old x
+  EXPECT_EQ(S.Globals[M.globalOffset(X)], 6); // old tmp + 1
+}
+
+TEST(Flatten, SwapCapturesAddressBeforeOverwrite) {
+  // tmp = AtomicSwap(tmp.next, v): the address uses the OLD tmp.
+  Program P(8, 3);
+  unsigned FNext = P.addField("next", Type::Ptr);
+  unsigned T = P.addThread("t");
+  unsigned LA = P.addLocal(BodyId::thread(T), "a", Type::Ptr, 0);
+  unsigned LB = P.addLocal(BodyId::thread(T), "b", Type::Ptr, 0);
+  ExprRef A = P.local(LA, Type::Ptr);
+  P.setRoot(
+      BodyId::thread(T),
+      P.seq({P.alloc(P.locLocal(LA)), // a = node 1
+             P.alloc(P.locLocal(LB)), // b = node 2
+             // a = AtomicSwap(a.next, b): reads old a.next (null) into a,
+             // and stores b into node1.next (via the captured address).
+             P.swap("", P.locLocal(LA), {P.locField(A, FNext)},
+                    P.local(LB, Type::Ptr))}));
+  FlatProgram FP = flatten(P);
+  exec::Machine M(FP, {});
+  exec::State S = runSingle(FP, {});
+  EXPECT_EQ(S.Locals[0][LA], 0);               // old a.next was null
+  EXPECT_EQ(S.Heap[0 * P.fields().size() + FNext], 2); // node1.next = b
+}
+
+TEST(Flatten, CondAtomicBecomesWaitStep) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.condAtomic(P.eq(P.global(X), P.constInt(1)),
+                         P.assign(P.locGlobal(X), P.constInt(2))));
+  FlatProgram FP = flatten(P);
+  ASSERT_EQ(FP.Threads[0].Steps.size(), 1u);
+  EXPECT_NE(FP.Threads[0].Steps[0].WaitCond, nullptr);
+  EXPECT_TRUE(FP.Threads[0].Steps[0].TouchesShared);
+}
+
+TEST(Flatten, LocalOnlyStepsAreInvisible) {
+  Program P;
+  unsigned T = P.addThread("t");
+  unsigned L = P.addLocal(BodyId::thread(T), "l", Type::Int, 0);
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  P.setRoot(BodyId::thread(T),
+            P.seq({P.assign(P.locLocal(L), P.constInt(1)),
+                   P.assign(P.locGlobal(X), P.local(L, Type::Int))}));
+  FlatProgram FP = flatten(P);
+  ASSERT_EQ(FP.Threads[0].Steps.size(), 2u);
+  EXPECT_FALSE(FP.Threads[0].Steps[0].TouchesShared);
+  EXPECT_TRUE(FP.Threads[0].Steps[1].TouchesShared);
+}
+
+TEST(Flatten, ReorderExpandsToGuardedCopies) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.reorder("r",
+                      {P.assign(P.locGlobal(X), P.constInt(1)),
+                       P.assign(P.locGlobal(X), P.constInt(2))},
+                      ReorderEncoding::Quadratic));
+  FlatProgram FP = flatten(P);
+  EXPECT_EQ(FP.Threads[0].Steps.size(), 4u); // k^2 guarded copies
+  for (const Step &S : FP.Threads[0].Steps)
+    EXPECT_NE(S.StaticGuard, nullptr);
+}
+
+TEST(Flatten, ChoiceAssignIsOneAtomicStep) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned Y = P.addGlobal("y", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T),
+            P.choiceAssign("c", {P.locGlobal(X), P.locGlobal(Y)},
+                           P.constInt(9)));
+  FlatProgram FP = flatten(P);
+  ASSERT_EQ(FP.Threads[0].Steps.size(), 1u);
+  EXPECT_EQ(FP.Threads[0].Steps[0].Ops.size(), 2u);
+  // Selecting target 1 writes y, not x.
+  exec::Machine M(FP, {1});
+  exec::State S = runSingle(FP, {1});
+  EXPECT_EQ(S.Globals[M.globalOffset(X)], 0);
+  EXPECT_EQ(S.Globals[M.globalOffset(Y)], 9);
+}
+
+namespace {
+
+/// Builds `reorder { g[0..2] = marks }` recording execution order into a
+/// global array via an index counter; returns the written order.
+std::vector<int64_t> executedOrder(ReorderEncoding Enc,
+                                   const HoleAssignment &H) {
+  Program P;
+  unsigned Order = P.addGlobalArray("order", Type::Int, 3, -1);
+  unsigned Cursor = P.addGlobal("cursor", Type::Int, 0);
+  unsigned T = P.addThread("t");
+  auto Mark = [&](int64_t K) {
+    return P.atomic(
+        P.seq({P.assign(P.locGlobalAt(Order, P.global(Cursor)),
+                        P.constInt(K)),
+               P.assign(P.locGlobal(Cursor),
+                        P.add(P.global(Cursor), P.constInt(1)))}));
+  };
+  P.setRoot(BodyId::thread(T),
+            P.reorder("r", {Mark(0), Mark(1), Mark(2)}, Enc));
+  flat::FlatProgram FP = flat::flatten(P);
+  exec::Machine M(FP, H);
+  exec::State S = M.initialState();
+  exec::Violation V;
+  EXPECT_TRUE(M.runToCompletion(S, 0, V)) << V.Label;
+  std::vector<int64_t> Result;
+  for (int I = 0; I < 3; ++I)
+    Result.push_back(S.Globals[M.globalOffset(Order) + I]);
+  return Result;
+}
+
+} // namespace
+
+TEST(Flatten, QuadraticReorderExecutesChosenPermutation) {
+  // order[i] = j means slot i runs statement j.
+  std::vector<uint64_t> Perm = {2, 0, 1};
+  HoleAssignment H = Perm;
+  EXPECT_EQ(executedOrder(ReorderEncoding::Quadratic, H),
+            (std::vector<int64_t>{2, 0, 1}));
+}
+
+TEST(Flatten, ExponentialReorderRealizesAllPermutations) {
+  // Sweep every insertion-hole assignment; each run must produce a
+  // permutation, and together they must cover all 3! orders.
+  std::set<std::vector<int64_t>> Seen;
+  for (uint64_t I1 = 0; I1 < 2; ++I1)
+    for (uint64_t I2 = 0; I2 < 4; ++I2) {
+      std::vector<int64_t> Order =
+          executedOrder(ReorderEncoding::Exponential, {I1, I2});
+      std::set<int64_t> Unique(Order.begin(), Order.end());
+      ASSERT_EQ(Unique.size(), 3u) << "not a permutation";
+      Seen.insert(Order);
+    }
+  EXPECT_EQ(Seen.size(), 6u);
+}

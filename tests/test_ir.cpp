@@ -1,0 +1,283 @@
+//===- tests/test_ir.cpp - sketch IR tests ---------------------------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "ir/Program.h"
+#include "ir/ReorderExpand.h"
+#include "ir/StaticEval.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace psketch;
+using namespace psketch::ir;
+
+TEST(ProgramConfig, Widths) {
+  Program P(/*IntWidth=*/8, /*PoolSize=*/7);
+  EXPECT_EQ(P.widthOf(Type::Bool), 1u);
+  EXPECT_EQ(P.widthOf(Type::Int), 8u);
+  EXPECT_EQ(P.widthOf(Type::Ptr), 3u); // values 0..7
+  P.setPoolSize(8);
+  EXPECT_EQ(P.widthOf(Type::Ptr), 4u); // values 0..8
+}
+
+TEST(ProgramConfig, WrapInt) {
+  Program P(8, 7);
+  EXPECT_EQ(P.wrap(0, Type::Int), 0);
+  EXPECT_EQ(P.wrap(127, Type::Int), 127);
+  EXPECT_EQ(P.wrap(128, Type::Int), -128);
+  EXPECT_EQ(P.wrap(-1, Type::Int), -1);
+  EXPECT_EQ(P.wrap(255, Type::Int), -1);
+  EXPECT_EQ(P.wrap(256, Type::Int), 0);
+  EXPECT_EQ(P.wrap(-129, Type::Int), 127);
+}
+
+TEST(ProgramConfig, WrapBoolAndPtr) {
+  Program P(8, 7);
+  EXPECT_EQ(P.wrap(2, Type::Bool), 1);
+  EXPECT_EQ(P.wrap(0, Type::Bool), 0);
+  EXPECT_EQ(P.wrap(7, Type::Ptr), 7);
+  EXPECT_EQ(P.wrap(8, Type::Ptr), 0); // 3-bit pointer space
+}
+
+TEST(ProgramBuild, SymbolTables) {
+  Program P;
+  unsigned F = P.addField("next", Type::Ptr);
+  unsigned G = P.addGlobal("x", Type::Int, 5);
+  unsigned A = P.addGlobalArray("arr", Type::Int, 4, 1);
+  unsigned T = P.addThread("t");
+  unsigned L = P.addLocal(BodyId::thread(T), "tmp", Type::Ptr, 0);
+  EXPECT_EQ(F, 0u);
+  EXPECT_EQ(P.globals()[G].Init, 5);
+  EXPECT_EQ(P.globals()[A].ArraySize, 4u);
+  EXPECT_EQ(P.body(BodyId::thread(T)).Locals[L].Name, "tmp");
+}
+
+TEST(ProgramBuild, CandidateSpaceCounting) {
+  Program P;
+  P.addHole("a", 4);
+  P.addHole("b", 7);
+  EXPECT_EQ(P.candidateSpaceSize().asU64(), 28u);
+  // A 1-choice hole adds no factor.
+  P.addHole("c", 1);
+  EXPECT_EQ(P.candidateSpaceSize().asU64(), 28u);
+  // A reorder of 4 statements contributes 4! regardless of encoding.
+  P.makeReorderHoles("r", 4, ReorderEncoding::Quadratic);
+  EXPECT_EQ(P.candidateSpaceSize().asU64(), 28u * 24u);
+}
+
+TEST(ProgramBuild, ChoiceOfSingleAlternativeCollapses) {
+  Program P;
+  ExprRef E = P.choose("only", {P.constInt(3)});
+  EXPECT_EQ(E->Kind, ExprKind::ConstInt);
+  EXPECT_TRUE(P.holes().empty());
+}
+
+TEST(StaticEval, ConstantsAndHoles) {
+  Program P;
+  unsigned H = P.addHole("h", 8);
+  HoleAssignment A = {5};
+  EXPECT_EQ(tryEvalStatic(P, P.constInt(3), A), 3);
+  EXPECT_EQ(tryEvalStatic(P, P.holeValue(H), A), 5);
+  EXPECT_EQ(tryEvalStatic(P, P.add(P.holeValue(H), P.constInt(2)), A), 7);
+  EXPECT_EQ(tryEvalStatic(P, P.eq(P.holeValue(H), P.constInt(5)), A), 1);
+}
+
+TEST(StaticEval, StateReadsAreNotStatic) {
+  Program P;
+  unsigned G = P.addGlobal("x", Type::Int, 0);
+  HoleAssignment A;
+  EXPECT_FALSE(tryEvalStatic(P, P.global(G), A).has_value());
+  // But short-circuit can still decide: false && <state> == false.
+  ExprRef E = P.land(P.constBool(false), P.eq(P.global(G), P.constInt(1)));
+  EXPECT_EQ(tryEvalStatic(P, E, A), 0);
+  ExprRef E2 = P.lor(P.constBool(true), P.eq(P.global(G), P.constInt(1)));
+  EXPECT_EQ(tryEvalStatic(P, E2, A), 1);
+}
+
+TEST(StaticEval, ChoiceSelectsAlternative) {
+  Program P;
+  ExprRef C = P.choose("c", {P.constInt(10), P.constInt(20), P.constInt(30)});
+  EXPECT_EQ(tryEvalStatic(P, C, {1}), 20);
+  EXPECT_EQ(tryEvalStatic(P, C, {2}), 30);
+  // Unassigned hole: not static.
+  EXPECT_FALSE(tryEvalStatic(P, C, {}).has_value());
+}
+
+TEST(StaticEval, WrapsArithmetic) {
+  Program P(8, 7);
+  ExprRef E = P.add(P.constInt(120), P.constInt(10));
+  EXPECT_EQ(tryEvalStatic(P, E, {}), P.wrap(130, Type::Int));
+}
+
+namespace {
+
+/// Recovers the execution order of a reorder block under a candidate by
+/// statically evaluating the expanded guards.
+std::vector<unsigned> activeOrder(Program &P, const Stmt *Reorder,
+                                  const HoleAssignment &H) {
+  std::vector<unsigned> Order;
+  for (const ReorderEntry &E : expandReorder(P, Reorder)) {
+    if (E.Cond) {
+      auto V = tryEvalStatic(P, E.Cond, H);
+      if (!V || *V == 0)
+        continue;
+    }
+    // Identify which child this entry is.
+    for (unsigned I = 0; I < Reorder->Children.size(); ++I)
+      if (Reorder->Children[I] == E.Child)
+        Order.push_back(I);
+  }
+  return Order;
+}
+
+bool isPermutation(const std::vector<unsigned> &Order, unsigned K) {
+  if (Order.size() != K)
+    return false;
+  std::set<unsigned> Seen(Order.begin(), Order.end());
+  return Seen.size() == K;
+}
+
+} // namespace
+
+TEST(ReorderExpand, QuadraticEntryCount) {
+  Program P;
+  std::vector<StmtRef> Stmts = {P.nop(), P.nop(), P.nop()};
+  StmtRef R = P.reorder("r", Stmts, ReorderEncoding::Quadratic);
+  EXPECT_EQ(expandReorder(P, R).size(), 9u); // k^2
+  EXPECT_EQ(R->ReorderHoles.size(), 3u);
+}
+
+TEST(ReorderExpand, ExponentialEntryCount) {
+  Program P;
+  std::vector<StmtRef> Stmts = {P.nop(), P.nop(), P.nop(), P.nop()};
+  StmtRef R = P.reorder("r", Stmts, ReorderEncoding::Exponential);
+  EXPECT_EQ(expandReorder(P, R).size(), 15u); // 2^k - 1
+  EXPECT_EQ(R->ReorderHoles.size(), 3u);
+  EXPECT_EQ(P.holes()[R->ReorderHoles[0]].NumChoices, 2u);
+  EXPECT_EQ(P.holes()[R->ReorderHoles[2]].NumChoices, 8u);
+}
+
+TEST(ReorderExpand, QuadraticRealizesEveryPermutation) {
+  Program P;
+  std::vector<StmtRef> Stmts = {P.assign(P.locLocal(0), P.constInt(0)),
+                                P.assign(P.locLocal(1), P.constInt(1)),
+                                P.assign(P.locLocal(2), P.constInt(2))};
+  StmtRef R = P.reorder("r", Stmts, ReorderEncoding::Quadratic);
+  std::set<std::vector<unsigned>> Orders;
+  std::vector<unsigned> Perm = {0, 1, 2};
+  do {
+    HoleAssignment H(P.holes().size(), 0);
+    for (unsigned I = 0; I < 3; ++I)
+      H[R->ReorderHoles[I]] = Perm[I];
+    std::vector<unsigned> Order = activeOrder(P, R, H);
+    EXPECT_TRUE(isPermutation(Order, 3));
+    EXPECT_EQ(Order, Perm); // slot i runs statement order[i]
+    Orders.insert(Order);
+  } while (std::next_permutation(Perm.begin(), Perm.end()));
+  EXPECT_EQ(Orders.size(), 6u);
+}
+
+TEST(ReorderExpand, ExponentialRealizesEveryPermutation) {
+  Program P;
+  std::vector<StmtRef> Stmts = {P.assign(P.locLocal(0), P.constInt(0)),
+                                P.assign(P.locLocal(1), P.constInt(1)),
+                                P.assign(P.locLocal(2), P.constInt(2))};
+  StmtRef R = P.reorder("r", Stmts, ReorderEncoding::Exponential);
+  std::set<std::vector<unsigned>> Orders;
+  // Enumerate all hole values: ins[1] in [0,2), ins[2] in [0,4).
+  for (uint64_t I1 = 0; I1 < 2; ++I1)
+    for (uint64_t I2 = 0; I2 < 4; ++I2) {
+      HoleAssignment H(P.holes().size(), 0);
+      H[R->ReorderHoles[0]] = I1;
+      H[R->ReorderHoles[1]] = I2;
+      std::vector<unsigned> Order = activeOrder(P, R, H);
+      ASSERT_TRUE(isPermutation(Order, 3));
+      Orders.insert(Order);
+    }
+  EXPECT_EQ(Orders.size(), 6u) << "every order of 3 stmts reachable";
+}
+
+TEST(ReorderExpand, QuadraticHasNoDuplicateConstraints) {
+  Program P;
+  std::vector<StmtRef> Stmts = {P.nop(), P.nop(), P.nop()};
+  P.reorder("r", Stmts, ReorderEncoding::Quadratic);
+  EXPECT_EQ(P.staticConstraints().size(), 3u); // C(3,2) pairs
+}
+
+TEST(Printer, ExprRendering) {
+  Program P;
+  unsigned G = P.addGlobal("tail", Type::Ptr, 0);
+  unsigned F = P.addField("next", Type::Ptr);
+  Printer Pr(P);
+  EXPECT_EQ(Pr.expr(P.null(), BodyId::prologue()), "null");
+  EXPECT_EQ(Pr.expr(P.field(P.global(G), F), BodyId::prologue()),
+            "tail.next");
+  EXPECT_EQ(Pr.expr(P.eq(P.global(G), P.null()), BodyId::prologue()),
+            "(tail == null)");
+}
+
+TEST(Printer, UnresolvedChoicePrintsGenerator) {
+  Program P;
+  unsigned G = P.addGlobal("tail", Type::Ptr, 0);
+  ExprRef C = P.choose("c", {P.global(G), P.null()});
+  Printer Pr(P);
+  EXPECT_EQ(Pr.expr(C, BodyId::prologue()), "{| tail | null |}");
+}
+
+TEST(Printer, ResolvedChoicePrintsSelection) {
+  Program P;
+  unsigned G = P.addGlobal("tail", Type::Ptr, 0);
+  ExprRef C = P.choose("c", {P.global(G), P.null()});
+  HoleAssignment H = {1};
+  Printer Pr(P, &H);
+  EXPECT_EQ(Pr.expr(C, BodyId::prologue()), "null");
+}
+
+TEST(Printer, ResolvedReorderPrintsChosenOrder) {
+  Program P;
+  unsigned A = P.addGlobal("a", Type::Int, 0);
+  unsigned B = P.addGlobal("b", Type::Int, 0);
+  StmtRef R = P.reorder("r",
+                        {P.assign(P.locGlobal(A), P.constInt(1)),
+                         P.assign(P.locGlobal(B), P.constInt(2))},
+                        ReorderEncoding::Quadratic);
+  HoleAssignment H(P.holes().size(), 0);
+  H[R->ReorderHoles[0]] = 1; // b first
+  H[R->ReorderHoles[1]] = 0;
+  Printer Pr(P, &H);
+  std::string Text = Pr.stmt(R, BodyId::prologue());
+  EXPECT_LT(Text.find("b = 2"), Text.find("a = 1"));
+}
+
+TEST(Printer, StaticallyFalseIfVanishes) {
+  Program P;
+  unsigned H = P.addHole("h", 2);
+  unsigned G = P.addGlobal("x", Type::Int, 0);
+  StmtRef S = P.ifS(P.eq(P.holeValue(H), P.constInt(1)),
+                    P.assign(P.locGlobal(G), P.constInt(1)));
+  HoleAssignment A = {0};
+  Printer Pr(P, &A);
+  EXPECT_EQ(Pr.stmt(S, BodyId::prologue()), "");
+}
+
+TEST(Printer, WholeProgram) {
+  Program P;
+  P.addField("next", Type::Ptr);
+  unsigned G = P.addGlobal("x", Type::Int, 3);
+  unsigned T = P.addThread("worker");
+  P.setRoot(BodyId::thread(T), P.assign(P.locGlobal(G), P.constInt(7)));
+  P.setRoot(BodyId::epilogue(),
+            P.assertS(P.eq(P.global(G), P.constInt(7)), "final"));
+  Printer Pr(P);
+  std::string Text = Pr.program();
+  EXPECT_NE(Text.find("global x = 3"), std::string::npos);
+  EXPECT_NE(Text.find("thread 0 \"worker\""), std::string::npos);
+  EXPECT_NE(Text.find("assert (x == 7)"), std::string::npos);
+}

@@ -1,0 +1,226 @@
+//===- tests/test_machine.cpp - concrete interpreter tests -----------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+
+#include "desugar/Flatten.h"
+#include "exec/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+using namespace psketch::ir;
+using namespace psketch::exec;
+
+namespace {
+
+struct MiniProgram {
+  Program P{8, 3};
+  unsigned T = 0;
+
+  MiniProgram() { T = P.addThread("t"); }
+  BodyId body() const { return BodyId::thread(T); }
+};
+
+} // namespace
+
+TEST(Machine, WrappedArithmetic) {
+  MiniProgram M;
+  unsigned X = M.P.addGlobal("x", Type::Int, 120);
+  M.P.setRoot(M.body(),
+              M.P.assign(M.P.locGlobal(X),
+                         M.P.add(M.P.global(X), M.P.constInt(10))));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S = Ma.initialState();
+  Violation V;
+  ASSERT_TRUE(Ma.runToCompletion(S, 0, V));
+  EXPECT_EQ(S.Globals[Ma.globalOffset(X)], M.P.wrap(130, Type::Int));
+}
+
+TEST(Machine, NullDerefIsMemUnsafe) {
+  MiniProgram M;
+  unsigned F = M.P.addField("next", Type::Ptr);
+  unsigned L = M.P.addLocal(M.body(), "p", Type::Ptr, 0);
+  unsigned X = M.P.addGlobal("x", Type::Ptr, 0);
+  M.P.setRoot(M.body(),
+              M.P.assign(M.P.locGlobal(X),
+                         M.P.field(M.P.local(L, Type::Ptr), F)));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S = Ma.initialState();
+  Violation V;
+  EXPECT_FALSE(Ma.runToCompletion(S, 0, V));
+  EXPECT_EQ(V.VKind, Violation::Kind::MemUnsafe);
+}
+
+TEST(Machine, ArrayBoundsChecked) {
+  MiniProgram M;
+  unsigned A = M.P.addGlobalArray("a", Type::Int, 3, 0);
+  M.P.setRoot(M.body(),
+              M.P.assign(M.P.locGlobalAt(A, M.P.constInt(5)),
+                         M.P.constInt(1)));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S = Ma.initialState();
+  Violation V;
+  EXPECT_FALSE(Ma.runToCompletion(S, 0, V));
+  EXPECT_EQ(V.VKind, Violation::Kind::MemUnsafe);
+}
+
+TEST(Machine, PoolExhaustion) {
+  MiniProgram M; // pool size 3
+  unsigned L = M.P.addLocal(M.body(), "p", Type::Ptr, 0);
+  std::vector<StmtRef> Allocs;
+  for (int I = 0; I < 4; ++I)
+    Allocs.push_back(M.P.alloc(M.P.locLocal(L)));
+  M.P.setRoot(M.body(), M.P.seq(std::move(Allocs)));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S = Ma.initialState();
+  Violation V;
+  EXPECT_FALSE(Ma.runToCompletion(S, 0, V));
+  EXPECT_EQ(V.VKind, Violation::Kind::PoolExhausted);
+}
+
+TEST(Machine, AllocReturnsFreshZeroedNodes) {
+  MiniProgram M;
+  unsigned FNext = M.P.addField("next", Type::Ptr);
+  unsigned LA = M.P.addLocal(M.body(), "a", Type::Ptr, 0);
+  unsigned LB = M.P.addLocal(M.body(), "b", Type::Ptr, 0);
+  M.P.setRoot(M.body(), M.P.seq({M.P.alloc(M.P.locLocal(LA)),
+                                 M.P.alloc(M.P.locLocal(LB))}));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S = Ma.initialState();
+  Violation V;
+  ASSERT_TRUE(Ma.runToCompletion(S, 0, V));
+  EXPECT_EQ(S.Locals[0][LA], 1);
+  EXPECT_EQ(S.Locals[0][LB], 2);
+  EXPECT_EQ(S.Heap[0 * M.P.fields().size() + FNext], 0);
+  EXPECT_EQ(S.AllocCount, 2);
+}
+
+TEST(Machine, ShortCircuitAvoidsUnsafeRhs) {
+  // p != null && p.next == null : safe even when p is null.
+  MiniProgram M;
+  unsigned F = M.P.addField("next", Type::Ptr);
+  unsigned L = M.P.addLocal(M.body(), "p", Type::Ptr, 0);
+  unsigned X = M.P.addGlobal("x", Type::Bool, 0);
+  ExprRef Pe = M.P.local(L, Type::Ptr);
+  M.P.setRoot(M.body(),
+              M.P.assign(M.P.locGlobal(X),
+                         M.P.land(M.P.ne(Pe, M.P.null()),
+                                  M.P.eq(M.P.field(Pe, F), M.P.null()))));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S = Ma.initialState();
+  Violation V;
+  ASSERT_TRUE(Ma.runToCompletion(S, 0, V)) << V.Label;
+  EXPECT_EQ(S.Globals[Ma.globalOffset(X)], 0);
+}
+
+TEST(Machine, IteOnlyEvaluatesChosenBranch) {
+  MiniProgram M;
+  unsigned F = M.P.addField("next", Type::Ptr);
+  unsigned L = M.P.addLocal(M.body(), "p", Type::Ptr, 0);
+  unsigned X = M.P.addGlobal("x", Type::Ptr, 0);
+  ExprRef Pe = M.P.local(L, Type::Ptr);
+  M.P.setRoot(M.body(),
+              M.P.assign(M.P.locGlobal(X),
+                         M.P.ite(M.P.eq(Pe, M.P.null()), M.P.null(),
+                                 M.P.field(Pe, F))));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S = Ma.initialState();
+  Violation V;
+  ASSERT_TRUE(Ma.runToCompletion(S, 0, V)) << V.Label;
+}
+
+TEST(Machine, CondAtomicBlocksUntilTrue) {
+  Program P;
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned T0 = P.addThread("waiter");
+  unsigned T1 = P.addThread("setter");
+  P.setRoot(BodyId::thread(T0),
+            P.condAtomic(P.eq(P.global(X), P.constInt(1)),
+                         P.assign(P.locGlobal(X), P.constInt(2))));
+  P.setRoot(BodyId::thread(T1), P.assign(P.locGlobal(X), P.constInt(1)));
+  flat::FlatProgram FP = flat::flatten(P);
+  Machine M(FP, {});
+  State S = M.initialState();
+  Violation V;
+  EXPECT_EQ(M.execStep(S, T0, V).Result, StepResult::Blocked);
+  EXPECT_EQ(M.execStep(S, T1, V).Result, StepResult::Ok);
+  EXPECT_EQ(M.execStep(S, T0, V).Result, StepResult::Ok);
+  EXPECT_EQ(S.Globals[M.globalOffset(X)], 2);
+  EXPECT_TRUE(M.isFinished(S, T0));
+}
+
+TEST(Machine, DynamicNoOpStepAdvances) {
+  MiniProgram M;
+  unsigned X = M.P.addGlobal("x", Type::Int, 5);
+  M.P.setRoot(M.body(),
+              M.P.ifS(M.P.eq(M.P.global(X), M.P.constInt(0)),
+                      M.P.assign(M.P.locGlobal(X), M.P.constInt(1))));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S = Ma.initialState();
+  Violation V;
+  ASSERT_TRUE(Ma.runToCompletion(S, 0, V));
+  EXPECT_EQ(S.Globals[Ma.globalOffset(X)], 5); // branch not taken
+}
+
+TEST(Machine, StaticallyDeadStepsAreSkipped) {
+  MiniProgram M;
+  unsigned H = M.P.addHole("h", 2);
+  unsigned X = M.P.addGlobal("x", Type::Int, 0);
+  M.P.setRoot(M.body(),
+              M.P.ifS(M.P.eq(M.P.holeValue(H), M.P.constInt(1)),
+                      M.P.assign(M.P.locGlobal(X), M.P.constInt(7))));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  {
+    Machine Ma(FP, {0});
+    State S = Ma.initialState();
+    EXPECT_TRUE(Ma.isFinished(S, 0)); // the only step is statically dead
+  }
+  {
+    Machine Ma(FP, {1});
+    State S = Ma.initialState();
+    EXPECT_FALSE(Ma.isFinished(S, 0));
+    Violation V;
+    ASSERT_TRUE(Ma.runToCompletion(S, 0, V));
+    EXPECT_EQ(S.Globals[Ma.globalOffset(X)], 7);
+  }
+}
+
+TEST(Machine, EncodeStateDistinguishesStates) {
+  MiniProgram M;
+  unsigned X = M.P.addGlobal("x", Type::Int, 0);
+  M.P.setRoot(M.body(),
+              M.P.assign(M.P.locGlobal(X), M.P.constInt(1)));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S0 = Ma.initialState();
+  State S1 = S0;
+  Violation V;
+  Ma.execStep(S1, 0, V);
+  EXPECT_NE(Ma.encodeState(S0), Ma.encodeState(S1));
+  State S0b = Ma.initialState();
+  EXPECT_EQ(Ma.encodeState(S0), Ma.encodeState(S0b));
+}
+
+TEST(Machine, AssertFailureReported) {
+  MiniProgram M;
+  M.P.setRoot(M.body(),
+              M.P.assertS(M.P.constBool(false), "always fails"));
+  flat::FlatProgram FP = flat::flatten(M.P);
+  Machine Ma(FP, {});
+  State S = Ma.initialState();
+  Violation V;
+  EXPECT_FALSE(Ma.runToCompletion(S, 0, V));
+  EXPECT_EQ(V.VKind, Violation::Kind::AssertFail);
+  EXPECT_EQ(V.Label, "always fails");
+}

@@ -1,0 +1,319 @@
+//===- tests/test_sat.cpp - CDCL solver tests ------------------------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Dimacs.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+using namespace psketch::sat;
+
+namespace {
+
+Lit pos(Var V) { return Lit(V, false); }
+Lit neg(Var V) { return Lit(V, true); }
+
+/// Brute-force satisfiability oracle for small formulas.
+bool bruteSat(const Cnf &F) {
+  for (uint64_t Mask = 0; Mask < (1ull << F.NumVars); ++Mask) {
+    bool AllSat = true;
+    for (const auto &Clause : F.Clauses) {
+      bool ClauseSat = false;
+      for (Lit L : Clause) {
+        bool Value = (Mask >> L.var()) & 1;
+        if (Value != L.sign()) {
+          ClauseSat = true;
+          break;
+        }
+      }
+      if (!ClauseSat) {
+        AllSat = false;
+        break;
+      }
+    }
+    if (AllSat)
+      return true;
+  }
+  return false;
+}
+
+Cnf randomCnf(Rng &R, int MaxVars, int MaxClauses) {
+  Cnf F;
+  F.NumVars = 2 + static_cast<int>(R.below(MaxVars - 1));
+  int NumClauses = 1 + static_cast<int>(R.below(MaxClauses));
+  for (int C = 0; C < NumClauses; ++C) {
+    std::vector<Lit> Clause;
+    int Len = 1 + static_cast<int>(R.below(4));
+    for (int I = 0; I < Len; ++I)
+      Clause.push_back(
+          Lit(static_cast<Var>(R.below(F.NumVars)), R.below(2) != 0));
+    F.Clauses.push_back(Clause);
+  }
+  return F;
+}
+
+} // namespace
+
+TEST(Solver, EmptyInstanceIsSat) {
+  Solver S;
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(Solver, UnitPropagation) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause(pos(A));
+  S.addClause(neg(A), pos(B));
+  ASSERT_TRUE(S.solve());
+  EXPECT_EQ(S.modelValue(A), LBool::True);
+  EXPECT_EQ(S.modelValue(B), LBool::True);
+}
+
+TEST(Solver, TrivialUnsat) {
+  Solver S;
+  Var A = S.newVar();
+  S.addClause(pos(A));
+  EXPECT_FALSE(S.addClause(neg(A)));
+  EXPECT_FALSE(S.okay());
+  EXPECT_FALSE(S.solve());
+}
+
+TEST(Solver, TautologyIgnored) {
+  Solver S;
+  Var A = S.newVar();
+  EXPECT_TRUE(S.addClause(std::vector<Lit>{pos(A), neg(A)}));
+  EXPECT_EQ(S.numClauses(), 0u);
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(Solver, DuplicateLiteralsMerged) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause(std::vector<Lit>{pos(A), pos(A), pos(B)});
+  ASSERT_TRUE(S.solve());
+}
+
+TEST(Solver, PigeonHole3Into2IsUnsat) {
+  // p_{i,j}: pigeon i in hole j; 3 pigeons, 2 holes.
+  Solver S;
+  Var P[3][2];
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < 3; ++I)
+    S.addClause(pos(P[I][0]), pos(P[I][1]));
+  for (int J = 0; J < 2; ++J)
+    for (int I = 0; I < 3; ++I)
+      for (int K = I + 1; K < 3; ++K)
+        S.addClause(neg(P[I][J]), neg(P[K][J]));
+  EXPECT_FALSE(S.solve());
+}
+
+TEST(Solver, XorChainForcesLearning) {
+  // A chain of xors with a parity contradiction at the end.
+  Solver S;
+  const int N = 12;
+  std::vector<Var> X;
+  for (int I = 0; I < N; ++I)
+    X.push_back(S.newVar());
+  auto AddXorEq = [&](Var A, Var B, Var C) {
+    // C = A xor B
+    S.addClause(neg(C), pos(A), pos(B));
+    S.addClause(neg(C), neg(A), neg(B));
+    S.addClause(pos(C), pos(A), neg(B));
+    S.addClause(pos(C), neg(A), pos(B));
+  };
+  for (int I = 2; I < N; ++I)
+    AddXorEq(X[I - 2], X[I - 1], X[I]);
+  S.addClause(pos(X[0]));
+  S.addClause(pos(X[1]));
+  ASSERT_TRUE(S.solve());
+  // x2 = 1^1 = 0, x3 = 1^0 = 1, ...
+  EXPECT_EQ(S.modelValue(X[2]), LBool::False);
+  EXPECT_EQ(S.modelValue(X[3]), LBool::True);
+}
+
+TEST(Solver, Assumptions) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause(neg(A), pos(B));
+  EXPECT_TRUE(S.solve({pos(A)}));
+  EXPECT_EQ(S.modelValue(B), LBool::True);
+  S.addClause(neg(B));
+  EXPECT_FALSE(S.solve({pos(A)})); // A -> B contradicts !B
+  EXPECT_TRUE(S.okay());           // but only under the assumption
+  EXPECT_TRUE(S.solve({neg(A)}));
+}
+
+TEST(Solver, IncrementalAddAfterSolve) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause(pos(A), pos(B));
+  ASSERT_TRUE(S.solve());
+  S.addClause(neg(A));
+  ASSERT_TRUE(S.solve());
+  EXPECT_EQ(S.modelValue(B), LBool::True);
+  S.addClause(neg(B));
+  EXPECT_FALSE(S.solve());
+}
+
+TEST(Solver, ConflictBudget) {
+  // A hard instance with a tiny budget must report exhaustion.
+  Solver S;
+  Var P[5][4];
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < 5; ++I)
+    S.addClause(std::vector<Lit>{pos(P[I][0]), pos(P[I][1]), pos(P[I][2]),
+                                 pos(P[I][3])});
+  for (int J = 0; J < 4; ++J)
+    for (int I = 0; I < 5; ++I)
+      for (int K = I + 1; K < 5; ++K)
+        S.addClause(neg(P[I][J]), neg(P[K][J]));
+  S.setConflictBudget(1);
+  bool Result = S.solve();
+  if (!Result)
+    SUCCEED(); // either budget-exhausted or genuinely proven
+  EXPECT_TRUE(S.budgetExhausted() || !S.okay() || Result);
+}
+
+TEST(Solver, ModelSatisfiesAllClauses) {
+  Rng R(2024);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    Cnf F = randomCnf(R, 14, 60);
+    Solver S;
+    if (!loadCnf(F, S))
+      continue;
+    if (!S.solve())
+      continue;
+    for (const auto &Clause : F.Clauses) {
+      bool Sat = false;
+      for (Lit L : Clause)
+        if (S.modelValue(L) == LBool::True)
+          Sat = true;
+      EXPECT_TRUE(Sat) << "model violates a clause";
+    }
+  }
+}
+
+// Property: solver verdict == brute force on random small instances.
+class SolverRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverRandomTest, AgreesWithBruteForce) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  for (int Iter = 0; Iter < 150; ++Iter) {
+    Cnf F = randomCnf(R, 10, 40);
+    Solver S;
+    bool Loaded = loadCnf(F, S);
+    bool Got = Loaded && S.solve();
+    EXPECT_EQ(Got, bruteSat(F)) << writeDimacs(F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverRandomTest, ::testing::Range(0, 8));
+
+TEST(Luby, FirstTerms) {
+  const uint64_t Expected[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8};
+  for (size_t I = 0; I < std::size(Expected); ++I)
+    EXPECT_EQ(lubySequence(I), Expected[I]) << "index " << I;
+}
+
+TEST(Dimacs, RoundTrip) {
+  Cnf F;
+  F.NumVars = 3;
+  F.Clauses = {{pos(0), neg(1)}, {pos(2)}, {neg(0), neg(2)}};
+  std::string Text = writeDimacs(F);
+  Cnf Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseDimacs(Text, Parsed, Error)) << Error;
+  EXPECT_EQ(Parsed.NumVars, 3);
+  ASSERT_EQ(Parsed.Clauses.size(), 3u);
+  EXPECT_EQ(Parsed.Clauses[0], F.Clauses[0]);
+  EXPECT_EQ(Parsed.Clauses[2], F.Clauses[2]);
+}
+
+TEST(Dimacs, ParsesCommentsAndHeader) {
+  Cnf F;
+  std::string Error;
+  ASSERT_TRUE(parseDimacs("c a comment\np cnf 2 1\n1 -2 0\n", F, Error));
+  EXPECT_EQ(F.NumVars, 2);
+  ASSERT_EQ(F.Clauses.size(), 1u);
+  EXPECT_EQ(F.Clauses[0][1], neg(1));
+}
+
+TEST(Dimacs, RejectsTrailingClause) {
+  Cnf F;
+  std::string Error;
+  EXPECT_FALSE(parseDimacs("p cnf 2 1\n1 -2\n", F, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Dimacs, RejectsGarbage) {
+  Cnf F;
+  std::string Error;
+  EXPECT_FALSE(parseDimacs("p cnf 2 1\n1 x 0\n", F, Error));
+}
+
+TEST(Solver, HardRandomInstanceExercisesRestartsAndLearning) {
+  // 3-SAT near the phase transition: forces learning, restarts, and
+  // usually clause-database maintenance.
+  Rng R(77);
+  Solver S;
+  const int Vars = 120;
+  for (int V = 0; V < Vars; ++V)
+    S.newVar();
+  for (int C = 0; C < static_cast<int>(Vars * 4.2); ++C) {
+    std::vector<Lit> Clause;
+    for (int L = 0; L < 3; ++L)
+      Clause.push_back(
+          Lit(static_cast<Var>(R.below(Vars)), R.below(2) != 0));
+    S.addClause(std::move(Clause));
+  }
+  (void)S.solve();
+  EXPECT_GT(S.stats().Conflicts, 0u);
+  EXPECT_GT(S.stats().Decisions, 0u);
+  EXPECT_GT(S.stats().Propagations, 0u);
+}
+
+TEST(Solver, ManyIncrementalRoundsStayConsistent) {
+  // Mimics the inductive synthesizer: add clauses round by round until
+  // UNSAT; once UNSAT, it must stay UNSAT.
+  Solver S;
+  const int N = 8;
+  std::vector<Var> X;
+  for (int I = 0; I < N; ++I)
+    X.push_back(S.newVar());
+  bool WasUnsat = false;
+  Rng R(5);
+  for (int Round = 0; Round < 64; ++Round) {
+    std::vector<Lit> Clause;
+    for (int L = 0; L < 2; ++L)
+      Clause.push_back(Lit(X[R.below(N)], R.below(2) != 0));
+    S.addClause(std::move(Clause));
+    bool Sat = S.solve();
+    if (WasUnsat) {
+      EXPECT_FALSE(Sat) << "UNSAT must be monotone under clause addition";
+    }
+    WasUnsat = WasUnsat || !Sat;
+  }
+}
+
+TEST(Solver, AssumptionsDoNotPollute) {
+  // Solving under incompatible assumptions must not make the instance
+  // permanently unsatisfiable.
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause(pos(A), pos(B));
+  EXPECT_FALSE(S.solve({neg(A), neg(B)}));
+  EXPECT_TRUE(S.okay());
+  EXPECT_TRUE(S.solve());
+  EXPECT_TRUE(S.solve({neg(A)}));
+  EXPECT_EQ(S.modelValue(B), LBool::True);
+}

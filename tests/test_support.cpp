@@ -1,0 +1,149 @@
+//===- tests/test_support.cpp - support library tests ----------------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigCount.h"
+#include "support/MemUsage.h"
+#include "support/Rng.h"
+#include "support/StrUtil.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace psketch;
+
+TEST(BigCount, DefaultIsOne) {
+  BigCount C;
+  EXPECT_TRUE(C.fitsInU64());
+  EXPECT_EQ(C.asU64(), 1u);
+  EXPECT_EQ(C.str(), "1");
+}
+
+TEST(BigCount, SmallProducts) {
+  BigCount C(6);
+  C *= BigCount(7);
+  EXPECT_EQ(C.asU64(), 42u);
+  C += BigCount(8);
+  EXPECT_EQ(C.asU64(), 50u);
+}
+
+TEST(BigCount, Factorial) {
+  EXPECT_EQ(BigCount::factorial(0).asU64(), 1u);
+  EXPECT_EQ(BigCount::factorial(1).asU64(), 1u);
+  EXPECT_EQ(BigCount::factorial(5).asU64(), 120u);
+  EXPECT_EQ(BigCount::factorial(20).asU64(), 2432902008176640000ull);
+}
+
+TEST(BigCount, Pow) {
+  EXPECT_EQ(BigCount::pow(2, 10).asU64(), 1024u);
+  EXPECT_EQ(BigCount::pow(10, 6).asU64(), 1000000u);
+  EXPECT_EQ(BigCount::pow(7, 0).asU64(), 1u);
+}
+
+TEST(BigCount, SaturationOnHugeProducts) {
+  BigCount C = BigCount::pow(10, 38); // fits in 128 bits
+  EXPECT_FALSE(C.isSaturated());
+  C *= BigCount::pow(10, 38);
+  EXPECT_TRUE(C.isSaturated());
+  EXPECT_NE(C.str().find('+'), std::string::npos);
+}
+
+TEST(BigCount, Log10) {
+  EXPECT_NEAR(BigCount(1000).log10(), 3.0, 1e-9);
+  EXPECT_NEAR(BigCount::pow(10, 12).log10(), 12.0, 1e-9);
+  EXPECT_NEAR((BigCount::factorial(3) * BigCount(28) * BigCount(28) *
+               BigCount(588))
+                  .log10(),
+              std::log10(2765952.0), 1e-9);
+}
+
+TEST(BigCount, StrRendersDecimal) {
+  EXPECT_EQ(BigCount::pow(10, 20).str(), "100000000000000000000");
+}
+
+TEST(StrUtil, Format) {
+  EXPECT_EQ(format("x=%d y=%s", 3, "hi"), "x=3 y=hi");
+  EXPECT_EQ(format("%05u", 42u), "00042");
+}
+
+TEST(StrUtil, Split) {
+  auto Pieces = split("a,b,,c", ',');
+  ASSERT_EQ(Pieces.size(), 4u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[2], "");
+  EXPECT_EQ(Pieces[3], "c");
+}
+
+TEST(StrUtil, SplitNoSeparator) {
+  auto Pieces = split("abc", ',');
+  ASSERT_EQ(Pieces.size(), 1u);
+  EXPECT_EQ(Pieces[0], "abc");
+}
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StrUtil, StartsWith) {
+  EXPECT_TRUE(startsWith("hello", "he"));
+  EXPECT_TRUE(startsWith("hello", ""));
+  EXPECT_FALSE(startsWith("he", "hello"));
+}
+
+TEST(StrUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.below(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  WallTimer T;
+  EXPECT_GE(T.seconds(), 0.0);
+}
+
+TEST(PhaseTimer, Accumulates) {
+  PhaseTimer T;
+  T.charge("solve", 1.5);
+  T.charge("solve", 0.5);
+  T.charge("model", 1.0);
+  EXPECT_DOUBLE_EQ(T.total("solve"), 2.0);
+  EXPECT_DOUBLE_EQ(T.total("model"), 1.0);
+  EXPECT_DOUBLE_EQ(T.total("missing"), 0.0);
+  T.reset();
+  EXPECT_DOUBLE_EQ(T.total("solve"), 0.0);
+}
+
+TEST(MemUsage, ReportsSomething) {
+  // On Linux both should be positive for a live process.
+  EXPECT_GT(peakRSSMiB(), 0.0);
+  EXPECT_GT(currentRSSMiB(), 0.0);
+}

@@ -1,0 +1,54 @@
+//===- tests/test_workload.cpp - workload pattern parser tests -------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch::bench;
+
+TEST(Workload, SimplePattern) {
+  Workload W = parseWorkload("ed(ee|dd)");
+  EXPECT_EQ(W.PrefixOps, (std::vector<char>{'e', 'd'}));
+  ASSERT_EQ(W.numThreads(), 2u);
+  EXPECT_EQ(W.ThreadOps[0], (std::vector<char>{'e', 'e'}));
+  EXPECT_EQ(W.ThreadOps[1], (std::vector<char>{'d', 'd'}));
+  EXPECT_TRUE(W.SuffixOps.empty());
+}
+
+TEST(Workload, SuffixOps) {
+  Workload W = parseWorkload("(e|e|e)ddd");
+  EXPECT_TRUE(W.PrefixOps.empty());
+  ASSERT_EQ(W.numThreads(), 3u);
+  EXPECT_EQ(W.SuffixOps, (std::vector<char>{'d', 'd', 'd'}));
+}
+
+TEST(Workload, FourThreads) {
+  Workload W = parseWorkload("ar(a|r|a|r)");
+  ASSERT_EQ(W.numThreads(), 4u);
+  EXPECT_EQ(W.ThreadOps[2], (std::vector<char>{'a'}));
+}
+
+TEST(Workload, CountOp) {
+  Workload W = parseWorkload("ed(ed|ed)");
+  EXPECT_EQ(W.countOp('e'), 3u);
+  EXPECT_EQ(W.countOp('d'), 3u);
+  EXPECT_EQ(W.countOp('x'), 0u);
+  EXPECT_EQ(W.totalOps(), 6u);
+}
+
+TEST(Workload, LongThreadGroups) {
+  Workload W = parseWorkload("ar(arar|arar)");
+  ASSERT_EQ(W.numThreads(), 2u);
+  EXPECT_EQ(W.ThreadOps[0].size(), 4u);
+  EXPECT_EQ(W.countOp('a'), 5u);
+}
+
+TEST(Workload, PatternRoundTripKept) {
+  Workload W = parseWorkload("ar(aa|rr)");
+  EXPECT_EQ(W.Pattern, "ar(aa|rr)");
+}
