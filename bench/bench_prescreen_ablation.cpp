@@ -1,0 +1,77 @@
+//===- bench/bench_prescreen_ablation.cpp - analyzer on/off ----------------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// Measures what the static pre-screen analyzer (src/analysis) buys on the
+// Figure 9 suite: every row is run twice, with the analyzer enabled
+// (default) and disabled. The analyzer is sound, so the verdict column
+// must agree pair-wise; the interesting columns are iterations, total
+// time, the analyzer's own cost (Sprune), and how much of |C| it removed
+// before the first verifier call.
+//
+// Usage: bench_prescreen_ablation [family]
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Suite.h"
+#include "cegis/Cegis.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace psketch;
+using namespace psketch::bench;
+
+namespace {
+
+cegis::CegisResult runRow(const SuiteEntry &E, bool Prescreen) {
+  auto P = E.Build();
+  cegis::CegisConfig Cfg;
+  Cfg.MaxIterations = 500;
+  Cfg.TimeLimitSeconds = 600.0;
+  Cfg.Prescreen = Prescreen;
+  cegis::ConcurrentCegis C(*P, Cfg);
+  return C.run();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Family = Argc > 1 ? Argv[1] : "";
+  std::printf("Pre-screen analyzer ablation (on vs off per row)\n");
+  std::printf("%-9s %-14s | %-9s %-9s | %8s %8s | %8s %5s %5s %8s %s\n",
+              "sketch", "test", "resolv.", "itns", "total(s)", "total(s)",
+              "Sprune", "bans", "excl", "d-log10C", "agree");
+  std::printf("%-9s %-14s | %-9s %-9s | %8s %8s | %8s %5s %5s %8s %s\n", "",
+              "", "on/off", "on/off", "on", "off", "(s)", "", "", "", "");
+  std::printf("--------------------------------------------------------------"
+              "--------------------------------------\n");
+
+  unsigned Disagreements = 0, Rows = 0, ItnsNotWorse = 0;
+  for (const SuiteEntry &E : paperSuite(Family)) {
+    cegis::CegisResult On = runRow(E, /*Prescreen=*/true);
+    cegis::CegisResult Off = runRow(E, /*Prescreen=*/false);
+    bool Agree = On.Stats.Resolvable == Off.Stats.Resolvable;
+    if (!Agree)
+      ++Disagreements;
+    ++Rows;
+    if (On.Stats.Iterations <= Off.Stats.Iterations)
+      ++ItnsNotWorse;
+    std::printf("%-9s %-14s | %3s / %-3s %4u / %-4u | %8.2f %8.2f | %8.3f "
+                "%5zu %5zu %8.2f %s%s\n",
+                E.Sketch.c_str(), E.Test.c_str(),
+                On.Stats.Resolvable ? "yes" : "NO",
+                Off.Stats.Resolvable ? "yes" : "NO", On.Stats.Iterations,
+                Off.Stats.Iterations, On.Stats.TotalSeconds,
+                Off.Stats.TotalSeconds, On.Stats.SpruneSeconds,
+                On.Stats.PrunedHoleValues, On.Stats.ExclusionConstraints,
+                On.Stats.SpaceLog10Delta, Agree ? "yes" : "NO!",
+                (On.Stats.Aborted || Off.Stats.Aborted) ? " [ABORTED]" : "");
+    std::fflush(stdout);
+  }
+  std::printf("\n%u/%u rows agree on the verdict; iterations no worse on "
+              "%u/%u rows\n",
+              Rows - Disagreements, Rows, ItnsNotWorse, Rows);
+  return Disagreements == 0 ? 0 : 1;
+}

@@ -9,7 +9,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyzer.h"
 #include "benchmarks/Suite.h"
+#include "desugar/Flatten.h"
 
 #include <cmath>
 #include <cstdio>
@@ -20,10 +22,10 @@ using namespace psketch::bench;
 
 int main() {
   std::printf("Table 1: benchmark sketches and candidate-space sizes |C|\n");
-  std::printf("%-10s %-44s %16s %10s %10s\n", "Sketch", "Description", "|C|",
-              "log10|C|", "paper");
+  std::printf("%-10s %-44s %16s %10s %10s %10s\n", "Sketch", "Description",
+              "|C|", "log10|C|", "pruned", "paper");
   std::printf("---------------------------------------------------------------"
-              "-----------------------------\n");
+              "----------------------------------------\n");
 
   struct Row {
     const char *Family;
@@ -48,8 +50,13 @@ int main() {
       continue;
     auto P = Entries.front().Build();
     BigCount C = P->candidateSpaceSize();
-    std::printf("%-10s %-44s %16s %10.2f %10s\n", R.Family, R.Description,
-                C.str().c_str(), C.log10(), R.PaperC);
+    // The static analyzer's sound pruning, reported as the log10 of the
+    // candidate space CEGIS actually searches.
+    flat::FlatProgram FP = flat::flatten(*P);
+    analysis::AnalysisResult A = analysis::analyze(*P, FP);
+    std::printf("%-10s %-44s %16s %10.2f %10.2f %10s\n", R.Family,
+                R.Description, C.str().c_str(), C.log10(),
+                C.log10() + A.SpaceLog10Delta, R.PaperC);
   }
   return 0;
 }

@@ -3,21 +3,31 @@
 // Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
 // Structures" (PLDI 2008).
 //
-// Usage: psketch_tool [file.psk]
+// Usage: psketch_tool [--lint] [--no-prescreen] [file.psk ...]
 //
-// Parses a mini-PSketch source file, runs concurrent CEGIS, and prints
-// the resolved implementation (or reports that the sketch cannot be
-// resolved, or a parse diagnostic). With no argument it runs the bundled
+// Default mode parses one mini-PSketch source file, runs concurrent CEGIS
+// (with the static pre-screen analyzer unless --no-prescreen), and prints
+// the resolved implementation. With no file it runs the bundled
 // lock-free-enqueue demo equivalent to examples/enqueue.psk.
+//
+// --lint runs the frontend validator and all three analysis passes over
+// every given file, prints the diagnostics, and skips synthesis. Exit
+// status: 0 clean, 1 on any error-severity diagnostic or unreadable /
+// unparsable input.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyzer.h"
 #include "cegis/Cegis.h"
+#include "desugar/Flatten.h"
 #include "frontend/Parser.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 using namespace psketch;
 
@@ -57,38 +67,133 @@ epilogue {
 }
 )";
 
-int main(int Argc, char **Argv) {
-  std::string Source;
-  if (Argc > 1) {
-    std::ifstream File(Argv[1]);
-    if (!File) {
-      std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
-      return 1;
-    }
-    std::stringstream Buffer;
-    Buffer << File.rdbuf();
-    Source = Buffer.str();
-  } else {
-    std::printf("(no input file: running the bundled enqueue demo; see "
-                "examples/enqueue.psk)\n\n");
-    Source = DemoSource;
-  }
+namespace {
 
+void printDiag(const analysis::Diagnostic &D) {
+  std::fprintf(stderr, "%s\n", analysis::render(D).c_str());
+}
+
+/// Reads \p Path (or the demo when null). \returns false on I/O error.
+bool readSource(const char *Path, std::string &Out) {
+  if (!Path) {
+    Out = DemoSource;
+    return true;
+  }
+  std::ifstream File(Path);
+  if (!File) {
+    printDiag({analysis::Severity::Error, "frontend",
+               std::string("cannot open ") + Path, ""});
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+/// Parses and validates one source. \returns null after printing
+/// diagnostics when the program is unusable.
+std::unique_ptr<ir::Program> loadProgram(const char *Path,
+                                         const std::string &Source) {
   frontend::ParseResult Parsed = frontend::parseProgram(Source);
   if (!Parsed.ok()) {
-    std::fprintf(stderr, "parse error: %s\n", Parsed.Error.c_str());
+    printDiag({analysis::Severity::Error, "frontend", Parsed.Error,
+               Path ? Path : "<demo>"});
+    return nullptr;
+  }
+  std::vector<analysis::Diagnostic> Bad =
+      analysis::validateProgram(*Parsed.Program);
+  if (!Bad.empty()) {
+    for (const analysis::Diagnostic &D : Bad)
+      printDiag(D);
+    return nullptr;
+  }
+  return std::move(Parsed.Program);
+}
+
+/// --lint over one file. \returns the number of error diagnostics (or 1
+/// when the file does not even load).
+unsigned lintFile(const char *Path) {
+  std::string Source;
+  if (!readSource(Path, Source))
+    return 1;
+  std::unique_ptr<ir::Program> P = loadProgram(Path, Source);
+  if (!P)
+    return 1;
+
+  std::printf("== %s ==\n", Path ? Path : "<demo>");
+  flat::FlatProgram FP = flat::flatten(*P);
+  analysis::AnalysisResult A = analysis::analyze(*P, FP);
+  unsigned Errors = 0;
+  for (const analysis::Diagnostic &D : A.Diags) {
+    printDiag(D);
+    if (D.Sev == analysis::Severity::Error)
+      ++Errors;
+  }
+  std::printf("%zu finding(s): %u error(s); pruned %zu hole value(s), "
+              "%zu subspace exclusion(s)\n",
+              A.Diags.size(), Errors, A.Bans.size(), A.Exclusions.size());
+  return Errors;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Lint = false, Prescreen = true;
+  std::vector<const char *> Files;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--lint") == 0)
+      Lint = true;
+    else if (std::strcmp(Argv[I], "--no-prescreen") == 0)
+      Prescreen = false;
+    else if (std::strncmp(Argv[I], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "usage: psketch_tool [--lint] [--no-prescreen] "
+                   "[file.psk ...]\n");
+      return 1;
+    } else
+      Files.push_back(Argv[I]);
+  }
+
+  if (Lint) {
+    if (Files.empty())
+      Files.push_back(nullptr); // lint the demo
+    unsigned Errors = 0;
+    for (const char *Path : Files)
+      Errors += lintFile(Path);
+    return Errors == 0 ? 0 : 1;
+  }
+
+  if (Files.size() > 1) {
+    std::fprintf(stderr,
+                 "error: synthesis mode takes one file (use --lint for "
+                 "batches)\n");
     return 1;
   }
-  ir::Program &P = *Parsed.Program;
+  const char *Path = Files.empty() ? nullptr : Files.front();
+  if (!Path)
+    std::printf("(no input file: running the bundled enqueue demo; see "
+                "examples/enqueue.psk)\n\n");
+  std::string Source;
+  if (!readSource(Path, Source))
+    return 1;
+  std::unique_ptr<ir::Program> Loaded = loadProgram(Path, Source);
+  if (!Loaded)
+    return 1;
+  ir::Program &P = *Loaded;
   std::printf("parsed: %u thread(s), %zu hole(s), |C| = %s\n", P.numThreads(),
               P.holes().size(), P.candidateSpaceSize().str().c_str());
 
   cegis::CegisConfig Cfg;
+  Cfg.Prescreen = Prescreen;
   Cfg.Log = [](const std::string &Message) {
     std::printf("  %s\n", Message.c_str());
   };
   cegis::ConcurrentCegis C(P, Cfg);
   cegis::CegisResult R = C.run();
+  for (const analysis::Diagnostic &D : R.Diags)
+    if (D.Sev != analysis::Severity::Note)
+      printDiag(D);
   if (!R.Stats.Resolvable) {
     std::printf("UNRESOLVABLE after %u iterations (%.2fs)%s\n",
                 R.Stats.Iterations, R.Stats.TotalSeconds,

@@ -1,0 +1,29 @@
+//===- analysis/Diagnostic.cpp ---------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diagnostic.h"
+
+using namespace psketch;
+using namespace psketch::analysis;
+
+std::string psketch::analysis::render(const Diagnostic &D) {
+  std::string Text;
+  switch (D.Sev) {
+  case Severity::Error:
+    Text = "error: ";
+    break;
+  case Severity::Warning:
+    Text = "warning: ";
+    break;
+  case Severity::Note:
+    Text = "note: ";
+    break;
+  }
+  Text += "[" + D.Pass + "] " + D.Message;
+  if (!D.Where.empty())
+    Text += " (at " + D.Where + ")";
+  return Text;
+}

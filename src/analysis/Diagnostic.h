@@ -1,0 +1,90 @@
+//===- analysis/Diagnostic.h - Analyzer and frontend diagnostics -*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic type shared by every static-analysis pass and by the
+/// frontend. A Diagnostic names the pass that produced it, a severity,
+/// the message, and (when it concerns a specific step) the body and step
+/// label the flattener attached, so `psketch_tool --lint` can point the
+/// sketch author at the offending statement.
+///
+/// Severities:
+///  * Error   - the sketch is broken for every candidate (a constant-false
+///    assert, a wait that can never unblock, a malformed program);
+///  * Warning - something is suspicious but some candidate may still
+///    resolve (an unprotected shared write, a vacuous assert, a dead
+///    generator alternative);
+///  * Note    - informational findings (pruning summaries, equivalences).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_DIAGNOSTIC_H
+#define PSKETCH_ANALYSIS_DIAGNOSTIC_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace analysis {
+
+/// How bad a finding is.
+enum class Severity : uint8_t { Error, Warning, Note };
+
+/// One finding of a pass (or of the frontend).
+struct Diagnostic {
+  Severity Sev = Severity::Warning;
+  std::string Pass;    ///< "frontend", "prune", "prescreen", "lint"
+  std::string Message; ///< the finding itself
+  std::string Where;   ///< body/step context ("thread 0, step 3: x = tmp")
+};
+
+/// \returns "error: [pass] message (at where)".
+std::string render(const Diagnostic &D);
+
+/// An append-only collector the passes write into.
+class DiagnosticSink {
+public:
+  void report(Severity Sev, const std::string &Pass, std::string Message,
+              std::string Where = "") {
+    Diags.push_back(Diagnostic{Sev, Pass, std::move(Message),
+                               std::move(Where)});
+  }
+  void error(const std::string &Pass, std::string Message,
+             std::string Where = "") {
+    report(Severity::Error, Pass, std::move(Message), std::move(Where));
+  }
+  void warning(const std::string &Pass, std::string Message,
+               std::string Where = "") {
+    report(Severity::Warning, Pass, std::move(Message), std::move(Where));
+  }
+  void note(const std::string &Pass, std::string Message,
+            std::string Where = "") {
+    report(Severity::Note, Pass, std::move(Message), std::move(Where));
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  std::vector<Diagnostic> take() { return std::move(Diags); }
+
+  size_t count(Severity Sev) const {
+    size_t N = 0;
+    for (const Diagnostic &D : Diags)
+      if (D.Sev == Sev)
+        ++N;
+    return N;
+  }
+  size_t errorCount() const { return count(Severity::Error); }
+  size_t warningCount() const { return count(Severity::Warning); }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace analysis
+} // namespace psketch
+
+#endif // PSKETCH_ANALYSIS_DIAGNOSTIC_H

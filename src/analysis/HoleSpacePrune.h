@@ -1,0 +1,42 @@
+//===- analysis/HoleSpacePrune.h - Candidate-space pruning ------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hole-space pruning pass. It never touches program state — every
+/// finding follows from the flat program's syntax and the hole table:
+///
+///  * unused holes — a hole mentioned by no step and no static constraint
+///    is pinned to 0 (every value yields the same program);
+///  * equivalent generator alternatives — if substituting hole=v and
+///    hole=u into the whole flat program yields structurally identical
+///    programs, v is banned in favor of the smaller u. Because the check
+///    covers every occurrence (generators bound to a shared hole are
+///    rebuilt per call site), shared-hole sketches are handled soundly;
+///  * constant static guards — hole-only guards that are false (or true)
+///    under every assignment of the holes they mention are reported, and
+///    always-false guards mark statically dead steps;
+///  * redundant reorder positions — for a reorder block whose selector
+///    holes appear nowhere else, assignments are enumerated (bounded) and
+///    grouped by the execution order they realize, treating structurally
+///    identical reordered statements as interchangeable; every
+///    non-canonical assignment is excluded. This covers both the
+///    quadratic encoding's identical-statement symmetry and the
+///    exponential encoding's inherent redundancy (several insertion
+///    vectors realize one order).
+///
+/// Every ban/exclusion removes only assignments with a semantically
+/// identical representative still in the space, so resolvability and
+/// verdicts are preserved exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_HOLESPACEPRUNE_H
+#define PSKETCH_ANALYSIS_HOLESPACEPRUNE_H
+
+#include "analysis/Analyzer.h"
+
+#endif // PSKETCH_ANALYSIS_HOLESPACEPRUNE_H

@@ -1,0 +1,320 @@
+//===- analysis/Prescreen.cpp ----------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Prescreen.h"
+
+#include "analysis/Util.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace psketch;
+using namespace psketch::analysis;
+using namespace psketch::ir;
+using flat::FlatProgram;
+using flat::MicroOp;
+using flat::Step;
+
+namespace {
+
+constexpr const char *PassName = "prescreen";
+
+/// Scalar globals a step's ops may write (unconditionally or under an op
+/// predicate — predicated writes count as potential writes).
+void scalarGlobalWrites(const Step &S, std::set<unsigned> &Out) {
+  for (const MicroOp &Op : S.Ops)
+    if (Op.OpKind != MicroOp::Kind::Assert &&
+        Op.Target.LocKind == Loc::Kind::Global)
+      Out.insert(Op.Target.Id);
+}
+
+void collectLocalReads(ExprRef E, std::set<unsigned> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::LocalRead)
+    Out.insert(E->Id);
+  for (ExprRef Op : E->Ops)
+    collectLocalReads(Op, Out);
+}
+
+/// The lock-acquire idiom: a conditional atomic whose wait condition
+/// tests exactly one scalar global that the step itself writes back.
+std::optional<unsigned> acquiredLock(const Step &S) {
+  if (!S.WaitCond || !readsOnlyScalarGlobals(S.WaitCond))
+    return std::nullopt;
+  std::set<unsigned> Read;
+  collectScalarGlobals(S.WaitCond, Read);
+  if (Read.size() != 1)
+    return std::nullopt;
+  std::set<unsigned> Written;
+  scalarGlobalWrites(S, Written);
+  if (!Written.count(*Read.begin()))
+    return std::nullopt;
+  return *Read.begin();
+}
+
+//===----------------------------------------------------------------------===//
+// Lockset screen.
+//===----------------------------------------------------------------------===//
+
+void runLocksetScreen(const ir::Program &P, const FlatProgram &FP,
+                      DiagnosticSink &Sink) {
+  unsigned NumThreads = static_cast<unsigned>(FP.Threads.size());
+  if (NumThreads < 2)
+    return; // a single thread cannot race
+
+  // Which scalar globals behave as locks anywhere in the program.
+  std::set<unsigned> LockGlobals;
+  for (unsigned Ctx = 0; Ctx < numContexts(FP); ++Ctx)
+    for (const Step &S : bodyOf(FP, Ctx).Steps)
+      if (auto G = acquiredLock(S))
+        LockGlobals.insert(*G);
+
+  // Which non-lock scalar globals each thread writes.
+  std::vector<std::set<unsigned>> ThreadWrites(NumThreads);
+  for (unsigned T = 0; T < NumThreads; ++T)
+    for (const Step &S : FP.Threads[T].Steps)
+      scalarGlobalWrites(S, ThreadWrites[T]);
+
+  // Every step is atomic in the interleaving semantics, so a single-step
+  // read-modify-write is race-free by construction. The statically
+  // detectable hazard is the *multi-step* RMW: a value loaded from a
+  // shared global into a local in one step and written back (possibly
+  // modified) in a later step, with no lock held across the two — the
+  // classic lost-update pattern.
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    std::set<unsigned> Held;                          // must-held lockset
+    std::vector<std::set<unsigned>> LoadedFrom;       // local -> source globals
+    const flat::FlatBody &B = FP.Threads[T];
+    for (unsigned Pc = 0; Pc < B.Steps.size(); ++Pc) {
+      const Step &S = B.Steps[Pc];
+      auto Acq = acquiredLock(S);
+
+      // Screen this step's global writes against the locals loaded in
+      // *earlier* steps (a load+store inside one step is atomic).
+      for (const MicroOp &Op : S.Ops) {
+        if (Op.OpKind == MicroOp::Kind::Assert ||
+            Op.Target.LocKind != Loc::Kind::Global)
+          continue;
+        unsigned G = Op.Target.Id;
+        if (LockGlobals.count(G) || (Acq && *Acq == G))
+          continue;
+        bool Racy = false;
+        for (unsigned U = 0; U < NumThreads; ++U)
+          if (U != T && ThreadWrites[U].count(G))
+            Racy = true;
+        if (!Racy || !Held.empty())
+          continue;
+        std::set<unsigned> ReadLocals;
+        collectLocalReads(Op.Pred, ReadLocals);
+        collectLocalReads(Op.Value, ReadLocals);
+        for (unsigned L : ReadLocals)
+          if (L < LoadedFrom.size() && LoadedFrom[L].count(G)) {
+            Sink.warning(PassName,
+                         format("read-modify-write of shared global '%s' "
+                                "spans multiple atomic steps with no lock "
+                                "held, while another thread also writes "
+                                "it (lost-update hazard)",
+                                P.globals()[G].Name.c_str()),
+                         stepWhere(FP, T, Pc));
+            break;
+          }
+      }
+
+      // Update lockset and load tracking *after* the screen.
+      if (Acq && !S.StaticGuard && !S.DynGuard)
+        Held.insert(*Acq);
+      std::set<unsigned> Writes;
+      scalarGlobalWrites(S, Writes);
+      for (unsigned G : Writes)
+        if (LockGlobals.count(G) && !(Acq && *Acq == G))
+          Held.erase(G); // any write-back may be a release: drop must-held
+      for (const MicroOp &Op : S.Ops) {
+        if (Op.OpKind == MicroOp::Kind::Assert ||
+            Op.Target.LocKind != Loc::Kind::Local)
+          continue;
+        if (Op.Target.Id >= LoadedFrom.size())
+          LoadedFrom.resize(Op.Target.Id + 1);
+        std::set<unsigned> Sources;
+        if (Op.OpKind == MicroOp::Kind::Write)
+          collectScalarGlobals(Op.Value, Sources);
+        if (Op.Pred) // a predicated write may leave the old value
+          for (unsigned G : LoadedFrom[Op.Target.Id])
+            Sources.insert(G);
+        LoadedFrom[Op.Target.Id] = std::move(Sources);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Wait-graph deadlock screen.
+//===----------------------------------------------------------------------===//
+
+struct WaitSite {
+  unsigned Ctx = 0;
+  unsigned Pc = 0;
+  std::set<unsigned> ReadGlobals;
+  ExprRef StaticGuard = nullptr; // hole-only; null = unconditional
+};
+
+struct WriteSite {
+  unsigned Ctx = 0;
+  unsigned Pc = 0;
+  std::set<unsigned> Globals;
+};
+
+/// Greatest fixpoint: starting from \p Candidates, repeatedly drop any
+/// wait with a non-harmless writer until stable. \returns the surviving
+/// permanently-blocked set.
+std::vector<WaitSite> blockedFixpoint(const FlatProgram &FP,
+                                      std::vector<WaitSite> Candidates,
+                                      const std::vector<WriteSite> &Writers) {
+  unsigned Epilogue = static_cast<unsigned>(FP.Threads.size()) + 1;
+  bool Changed = true;
+  while (Changed && !Candidates.empty()) {
+    Changed = false;
+    for (size_t I = 0; I < Candidates.size(); ++I) {
+      const WaitSite &S = Candidates[I];
+      bool AllHarmless = true;
+      for (const WriteSite &W : Writers) {
+        bool Touches = false;
+        for (unsigned G : W.Globals)
+          if (S.ReadGlobals.count(G))
+            Touches = true;
+        if (!Touches)
+          continue;
+        // Rule 1: same context, at or after the blocked wait.
+        if (W.Ctx == S.Ctx && W.Pc >= S.Pc)
+          continue;
+        // Rule 2: epilogue writer, non-epilogue wait — the epilogue only
+        // runs once every thread finishes, which never happens.
+        if (W.Ctx == Epilogue && S.Ctx != Epilogue)
+          continue;
+        // Rule 3: the writer is dominated by another permanently-blocked
+        // wait in its own context.
+        bool Dominated = false;
+        for (const WaitSite &O : Candidates)
+          if (O.Ctx == W.Ctx && O.Pc <= W.Pc)
+            Dominated = true;
+        if (Dominated)
+          continue;
+        AllHarmless = false;
+        break;
+      }
+      if (!AllHarmless) {
+        Candidates.erase(Candidates.begin() + static_cast<long>(I));
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return Candidates;
+}
+
+void runDeadlockScreen(ir::Program &P, const FlatProgram &FP,
+                       DiagnosticSink &Sink, AnalysisResult &Out) {
+  std::vector<int64_t> Init;
+  for (const Global &G : P.globals())
+    Init.push_back(G.Init);
+
+  // Collect qualifying wait sites: unconditional-within-the-context
+  // (no dynamic guard), hole-free scalar-global condition, false in the
+  // initial state.
+  std::vector<WaitSite> Candidates;
+  for (unsigned Ctx = 0; Ctx < numContexts(FP); ++Ctx) {
+    const flat::FlatBody &B = bodyOf(FP, Ctx);
+    for (unsigned Pc = 0; Pc < B.Steps.size(); ++Pc) {
+      const Step &S = B.Steps[Pc];
+      if (!S.WaitCond || S.DynGuard)
+        continue;
+      if (!readsOnlyScalarGlobals(S.WaitCond))
+        continue;
+      auto V = evalOverGlobals(P, S.WaitCond, Init);
+      if (!V || *V != 0)
+        continue;
+      WaitSite W;
+      W.Ctx = Ctx;
+      W.Pc = Pc;
+      collectScalarGlobals(S.WaitCond, W.ReadGlobals);
+      W.StaticGuard = S.StaticGuard;
+      Candidates.push_back(std::move(W));
+    }
+  }
+  if (Candidates.empty())
+    return;
+
+  std::vector<WriteSite> Writers;
+  for (unsigned Ctx = 0; Ctx < numContexts(FP); ++Ctx) {
+    const flat::FlatBody &B = bodyOf(FP, Ctx);
+    for (unsigned Pc = 0; Pc < B.Steps.size(); ++Pc) {
+      WriteSite W;
+      W.Ctx = Ctx;
+      W.Pc = Pc;
+      scalarGlobalWrites(B.Steps[Pc], W.Globals);
+      if (!W.Globals.empty())
+        Writers.push_back(std::move(W));
+    }
+  }
+
+  // Pass 1: waits with no static guard. If any survives, the deadlock is
+  // unconditional — every candidate fails.
+  std::vector<WaitSite> Unguarded;
+  for (const WaitSite &W : Candidates)
+    if (!W.StaticGuard)
+      Unguarded.push_back(W);
+  std::vector<WaitSite> B0 = blockedFixpoint(FP, Unguarded, Writers);
+  if (!B0.empty()) {
+    const WaitSite &W = B0.front();
+    std::string Where = stepWhere(FP, W.Ctx, W.Pc);
+    Sink.error(PassName,
+               "wait condition is false initially and no reachable step "
+               "can make it true: every candidate deadlocks",
+               Where);
+    Out.ProvedUnresolvable = true;
+    Out.UnresolvableWhy =
+        format("unconditional deadlock at %s", Where.c_str());
+    return;
+  }
+
+  // Pass 2: the full set. Survivors deadlock every candidate that
+  // enables all their static guards; exclude that subspace.
+  std::vector<WaitSite> B = blockedFixpoint(FP, std::move(Candidates), Writers);
+  if (B.empty())
+    return;
+
+  ExprRef Conj = nullptr;
+  std::set<ExprRef> SeenGuards;
+  for (const WaitSite &W : B) {
+    Sink.warning(PassName,
+                 "wait can never unblock when its generator alternative "
+                 "is selected; the candidate subspace is excluded "
+                 "without a verifier call",
+                 stepWhere(FP, W.Ctx, W.Pc));
+    if (W.StaticGuard && SeenGuards.insert(W.StaticGuard).second)
+      Conj = Conj ? P.land(Conj, W.StaticGuard) : W.StaticGuard;
+  }
+  if (Conj) {
+    Out.Exclusions.push_back(P.lnot(Conj));
+    Sink.note(PassName,
+              format("excluded a guaranteed-deadlock subspace spanning "
+                     "%zu wait step(s)",
+                     B.size()));
+  }
+}
+
+} // namespace
+
+void psketch::analysis::runPrescreen(Program &P, const FlatProgram &FP,
+                                     const AnalysisConfig &Cfg,
+                                     DiagnosticSink &Sink,
+                                     AnalysisResult &Out) {
+  (void)Cfg;
+  runLocksetScreen(P, FP, Sink);
+  runDeadlockScreen(P, FP, Sink, Out);
+}

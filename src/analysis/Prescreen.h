@@ -1,0 +1,47 @@
+//===- analysis/Prescreen.h - Lockset + wait-graph pre-screen ---*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The candidate-independent concurrency pre-screen. Two analyses:
+///
+///  * Lockset screen — identifies lock globals by the paper's only
+///    blocking idiom (a conditional atomic whose wait condition tests a
+///    scalar global that the same step writes), computes the must-held
+///    lockset at every step of every thread by a forward scan, and warns
+///    about multi-step read-modify-writes of shared scalar globals (a
+///    value loaded into a local in one atomic step and stored back in a
+///    later one) performed with an empty lockset while another thread
+///    also writes the same global — the lost-update pattern. Single-step
+///    RMWs are atomic by the interleaving semantics and never flagged.
+///    Purely diagnostic: data-race freedom is not required for
+///    correctness in the sketch semantics, so no candidates are excluded.
+///
+///  * Wait-graph deadlock screen — finds wait steps that can provably
+///    never unblock. A wait qualifies when its condition reads only
+///    scalar globals, is false in the initial state, and survives a
+///    greatest-fixpoint argument over the set B of permanently-blocked
+///    waits: every write to a global it reads is harmless because it
+///    (1) sits at or after the wait in the same context, (2) sits in the
+///    epilogue while the wait is in a thread or the prologue (the
+///    epilogue only runs after all threads finish), or (3) is preceded
+///    in its context by another wait in B. Every candidate that enables
+///    all of B's static guards deadlocks, so the subspace is excluded
+///    with a single hole-only constraint — and when the B restricted to
+///    unguarded waits is already non-empty, *every* candidate deadlocks
+///    and the sketch is reported unresolvable without any verifier call.
+///
+/// docs/ANALYSIS.md gives the prefix-induction soundness proof of the
+/// harmless-writer rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_PRESCREEN_H
+#define PSKETCH_ANALYSIS_PRESCREEN_H
+
+#include "analysis/Analyzer.h"
+
+#endif // PSKETCH_ANALYSIS_PRESCREEN_H

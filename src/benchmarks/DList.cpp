@@ -202,7 +202,7 @@ static unsigned holeIdx(const Program &P, const std::string &Name) {
 
 HoleAssignment
 psketch::bench::dlistReferenceCandidate(const Program &P,
-                                        const DListOptions &O) {
+                                        [[maybe_unused]] const DListOptions &O) {
   HoleAssignment H(P.holes().size(), 0);
   auto Set = [&](const std::string &Name, uint64_t Value) {
     H[holeIdx(P, Name)] = Value;

@@ -67,7 +67,7 @@ private:
   }
 
   /// The optimistic traversal shared by add() and remove().
-  StmtRef traversal(BodyId B, ExprRef Key, unsigned LPred, unsigned LCurr) {
+  StmtRef traversal([[maybe_unused]] BodyId B, ExprRef Key, unsigned LPred, unsigned LCurr) {
     ExprRef Curr = P.local(LCurr, Type::Ptr);
     ExprRef Head = P.global(GHead);
     return P.seq(

@@ -244,7 +244,7 @@ static unsigned holeIdx(const Program &P, const std::string &Name) {
 
 HoleAssignment
 psketch::bench::stackReferenceCandidate(const Program &P,
-                                        const StackOptions &O) {
+                                        [[maybe_unused]] const StackOptions &O) {
   HoleAssignment H(P.holes().size(), 0);
   auto Set = [&](const std::string &Name, uint64_t Value) {
     H[holeIdx(P, Name)] = Value;

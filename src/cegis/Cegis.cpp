@@ -18,6 +18,42 @@ using exec::Machine;
 using exec::State;
 using exec::Violation;
 
+namespace {
+
+/// Runs the static analyzer once and asserts its findings into the
+/// synthesizer. \returns true when the analyzer already proved the
+/// sketch unresolvable (the caller skips the loop: zero verifier calls).
+bool applyPrescreen(ir::Program &P, const flat::FlatProgram &FP,
+                    const CegisConfig &Cfg, synth::InductiveSynth &Synth,
+                    CegisResult &R) {
+  if (!Cfg.Prescreen)
+    return false;
+  WallTimer Watch;
+  analysis::AnalysisResult A = analysis::analyze(P, FP, Cfg.Analysis);
+  for (const analysis::HoleValueBan &B : A.Bans)
+    Synth.banHoleValue(B.HoleId, B.Value);
+  for (ir::ExprRef E : A.Exclusions)
+    Synth.assertHoleConstraint(E);
+  R.Stats.PrunedHoleValues = A.Bans.size();
+  R.Stats.ExclusionConstraints = A.Exclusions.size();
+  R.Stats.SpaceLog10Delta = A.SpaceLog10Delta;
+  R.Diags = std::move(A.Diags);
+  R.Stats.SpruneSeconds = Watch.seconds();
+  if (Cfg.Log && (!A.Bans.empty() || !A.Exclusions.empty()))
+    Cfg.Log(format("prescreen: %zu unit bans, %zu exclusion constraints "
+                   "(|C| shrink: 10^%.2f)",
+                   A.Bans.size(), A.Exclusions.size(), A.SpaceLog10Delta));
+  if (A.ProvedUnresolvable) {
+    if (Cfg.Log)
+      Cfg.Log("prescreen: proved unresolvable (" + A.UnresolvableWhy + ")");
+    R.Stats.Resolvable = false;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
 ConcurrentCegis::ConcurrentCegis(ir::Program &P, CegisConfig Cfg)
     : P(P), Cfg(std::move(Cfg)) {
   WallTimer Watch;
@@ -31,8 +67,9 @@ CegisResult ConcurrentCegis::run() {
   R.Stats.VmodelSeconds += FlattenSeconds;
 
   synth::InductiveSynth Synth(FP);
+  bool Proved = applyPrescreen(P, FP, Cfg, Synth, R);
 
-  for (;;) {
+  while (!Proved) {
     // Budget checks.
     if (R.Stats.Iterations >= Cfg.MaxIterations ||
         (Cfg.TimeLimitSeconds > 0.0 &&
@@ -110,8 +147,9 @@ CegisResult SequentialCegis::run() {
   R.Stats.VmodelSeconds += FlattenSeconds;
 
   synth::InductiveSynth Synth(FP);
+  bool Proved = applyPrescreen(P, FP, Cfg, Synth, R);
 
-  for (;;) {
+  while (!Proved) {
     if (R.Stats.Iterations >= Cfg.MaxIterations ||
         (Cfg.TimeLimitSeconds > 0.0 &&
          Total.seconds() > Cfg.TimeLimitSeconds)) {

@@ -24,6 +24,7 @@
 #ifndef PSKETCH_CEGIS_CEGIS_H
 #define PSKETCH_CEGIS_CEGIS_H
 
+#include "analysis/Analyzer.h"
 #include "desugar/Flatten.h"
 #include "ir/HoleAssignment.h"
 #include "ir/Program.h"
@@ -48,6 +49,15 @@ struct CegisConfig {
   /// generate-and-test baseline the paper's CEGIS improves on. Used by
   /// the observation-ablation bench.
   bool LearnFromTraces = true;
+  /// When true (the default), the static analyzer (src/analysis) runs
+  /// once before the loop; its unit bans and exclusion constraints are
+  /// asserted into the synthesizer, and an analyzer proof of
+  /// unresolvability short-circuits the loop with zero verifier calls.
+  /// The analyzer is sound, so verdicts are unchanged — only iterations
+  /// and solver work can shrink. Opt out for ablation measurements.
+  bool Prescreen = true;
+  /// Pass toggles and enumeration caps for the pre-screen analyzer.
+  analysis::AnalysisConfig Analysis;
   /// Optional progress sink (iteration summaries).
   std::function<void(const std::string &)> Log;
 };
@@ -66,12 +76,20 @@ struct CegisStats {
   uint64_t StatesExplored = 0; ///< total checker states across iterations
   size_t GateCount = 0;
   size_t ClauseCount = 0;
+  double SpruneSeconds = 0.0;  ///< Sprune: the static pre-screen analyzer
+  size_t PrunedHoleValues = 0; ///< unit bans asserted by the analyzer
+  size_t ExclusionConstraints = 0; ///< subspace exclusions asserted
+  /// log10 shrink of |C| from the analyzer's bans/canonicalizations
+  /// (<= 0); bench_table1 reports |C| plus this as the pruned space.
+  double SpaceLog10Delta = 0.0;
 };
 
 /// A finished run.
 struct CegisResult {
   CegisStats Stats;
   ir::HoleAssignment Candidate; ///< meaningful when Stats.Resolvable
+  /// The pre-screen analyzer's findings (empty when Prescreen is off).
+  std::vector<analysis::Diagnostic> Diags;
 };
 
 /// CEGIS for concurrent sketches: the paper's main algorithm.

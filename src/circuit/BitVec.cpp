@@ -96,7 +96,7 @@ BitVec psketch::circuit::bvXor(Graph &G, const BitVec &A, const BitVec &B) {
   return Result;
 }
 
-BitVec psketch::circuit::bvNot(Graph &G, const BitVec &A) {
+BitVec psketch::circuit::bvNot([[maybe_unused]] Graph &G, const BitVec &A) {
   BitVec Result;
   for (unsigned I = 0; I < A.width(); ++I)
     Result.Bits.push_back(~A.bit(I));

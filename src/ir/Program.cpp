@@ -66,14 +66,16 @@ unsigned Program::addHoleNoCount(const std::string &Name,
   unsigned Width = 1;
   while ((1u << Width) < NumChoices)
     ++Width;
-  HoleTable.push_back(Hole{Name, NumChoices, Width});
+  HoleTable.push_back(Hole{Name, NumChoices, Width, /*Counted=*/false});
   return static_cast<unsigned>(HoleTable.size() - 1);
 }
 
 unsigned Program::addHole(const std::string &Name, unsigned NumChoices) {
   unsigned Id = addHoleNoCount(Name, NumChoices);
-  if (NumChoices > 1)
+  if (NumChoices > 1) {
     SpaceFactors.push_back(BigCount(NumChoices));
+    HoleTable[Id].Counted = true;
+  }
   return Id;
 }
 

@@ -61,6 +61,10 @@ struct Hole {
   std::string Name;
   unsigned NumChoices = 2;
   unsigned Width = 1; ///< ceil(log2(NumChoices)), at least 1
+  /// True when the hole contributed its own NumChoices factor to |C|
+  /// (reorder selector holes contribute a shared k! factor instead).
+  /// The static analyzer uses this to account candidate-space pruning.
+  bool Counted = false;
 };
 
 /// One straight context of execution: its statement tree plus locals.

@@ -65,6 +65,18 @@ bool InductiveSynth::solve(ir::HoleAssignment &CandidateOut) {
   return true;
 }
 
+void InductiveSynth::banHoleValue(unsigned HoleId, uint64_t Value) {
+  WallTimer Watch;
+  Cnf.assertFalse(bvEqConst(Graph, Encoder.holeBits()[HoleId], Value));
+  Stats.ModelSeconds += Watch.seconds();
+}
+
+void InductiveSynth::assertHoleConstraint(ir::ExprRef Constraint) {
+  WallTimer Watch;
+  Cnf.assertTrue(Encoder.encodeHoleOnly(Constraint));
+  Stats.ModelSeconds += Watch.seconds();
+}
+
 void InductiveSynth::excludeCandidate(const ir::HoleAssignment &Candidate) {
   WallTimer Watch;
   const std::vector<BitVec> &Holes = Encoder.holeBits();

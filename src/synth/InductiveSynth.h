@@ -62,6 +62,15 @@ public:
   /// enumerate multiple implementations, Section 8.3.1's autotuning note).
   void excludeCandidate(const ir::HoleAssignment &Candidate);
 
+  /// Asserts that hole \p HoleId never takes \p Value (a static-analyzer
+  /// unit ban: the value is a guaranteed failure or has an equivalent
+  /// smaller representative).
+  void banHoleValue(unsigned HoleId, uint64_t Value);
+
+  /// Asserts a hole-only constraint from the static analyzer (e.g. a
+  /// deadlocking-subspace exclusion or a reorder canonicalization).
+  void assertHoleConstraint(ir::ExprRef Constraint);
+
   const SynthStats &stats() const { return Stats; }
   const sat::Solver &solver() const { return Solver; }
 

@@ -52,6 +52,12 @@ NodeRef TraceEncoder::validity() {
   return G.mkAndAll(Terms);
 }
 
+NodeRef TraceEncoder::encodeHoleOnly(ExprRef E) {
+  SymState Empty = initialState({});
+  Val V = evalExpr(Empty, 0, E);
+  return bit(V);
+}
+
 TraceEncoder::SymState TraceEncoder::initialState(
     const GlobalOverrides &Overrides) {
   SymState St;

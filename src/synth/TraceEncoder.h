@@ -67,6 +67,11 @@ public:
   circuit::NodeRef encodeTrace(const ProjectedTrace &PT,
                                const GlobalOverrides &Overrides = {});
 
+  /// Symbolically evaluates a hole-only expression (e.g. a static
+  /// analyzer exclusion constraint) over the hole bits. \returns its
+  /// boolean node.
+  circuit::NodeRef encodeHoleOnly(ir::ExprRef E);
+
 private:
   circuit::Graph &G;
   const flat::FlatProgram &FP;
