@@ -11,12 +11,15 @@
 
 using namespace psketch::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchOptions(Argc, Argv, "fig9_barrier");
   std::printf("Figure 9 (barrier rows): CEGIS on the sense-reversing "
               "barrier sketches\n");
+  JsonReport Json(Opts);
   printFig9Header();
   for (const char *Family : {"barrier1", "barrier2"})
     for (const SuiteEntry &E : paperSuite(Family))
-      runFig9Row(E);
+      runFig9Row(E, 600.0, &Opts, &Json);
+  Json.write();
   return 0;
 }

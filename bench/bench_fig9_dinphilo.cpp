@@ -11,8 +11,11 @@
 
 using namespace psketch::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchOptions(Argc, Argv, "fig9_dinphilo");
   std::printf("Figure 9 (dining philosophers rows)\n");
-  runFamily("dinphilo");
+  JsonReport Json(Opts);
+  runFamily("dinphilo", &Opts, &Json);
+  Json.write();
   return 0;
 }

@@ -11,11 +11,14 @@
 
 using namespace psketch::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchOptions(Argc, Argv, "fig9_queue");
   std::printf("Figure 9 (queue rows): CEGIS on the lock-free queue sketches\n");
+  JsonReport Json(Opts);
   printFig9Header();
   for (const char *Family : {"queueE1", "queueDE1", "queueE2", "queueDE2"})
     for (const SuiteEntry &E : paperSuite(Family))
-      runFig9Row(E);
+      runFig9Row(E, 600.0, &Opts, &Json);
+  Json.write();
   return 0;
 }

@@ -14,12 +14,15 @@
 
 using namespace psketch::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = parseBenchOptions(Argc, Argv, "fig9_sets");
   std::printf("Figure 9 (set rows): CEGIS on the fine-locked and lazy "
               "list-based sets\n");
+  JsonReport Json(Opts);
   printFig9Header();
   for (const char *Family : {"fineset1", "fineset2", "lazyset"})
     for (const SuiteEntry &E : paperSuite(Family))
-      runFig9Row(E);
+      runFig9Row(E, 600.0, &Opts, &Json);
+  Json.write();
   return 0;
 }

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "analysis/Analyzer.h"
 #include "benchmarks/Suite.h"
 #include "desugar/Flatten.h"
@@ -20,7 +22,10 @@
 using namespace psketch;
 using namespace psketch::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  // No checker runs here, so --jobs is accepted but has no effect.
+  BenchOptions Opts = parseBenchOptions(Argc, Argv, "table1");
+  JsonReport Json(Opts);
   std::printf("Table 1: benchmark sketches and candidate-space sizes |C|\n");
   std::printf("%-10s %-44s %16s %10s %10s %10s\n", "Sketch", "Description",
               "|C|", "log10|C|", "pruned", "paper");
@@ -57,6 +62,15 @@ int main() {
     std::printf("%-10s %-44s %16s %10.2f %10.2f %10s\n", R.Family,
                 R.Description, C.str().c_str(), C.log10(),
                 C.log10() + A.SpaceLog10Delta, R.PaperC);
+    JsonObject O;
+    O.field("sketch", R.Family)
+        .field("description", R.Description)
+        .field("candidates", C.str())
+        .field("log10_candidates", C.log10())
+        .field("log10_pruned", C.log10() + A.SpaceLog10Delta)
+        .field("paper_candidates", R.PaperC);
+    Json.add(O);
   }
+  Json.write();
   return 0;
 }

@@ -3,12 +3,19 @@
 // Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
 // Structures" (PLDI 2008).
 //
-// Usage: psketch_tool [--lint] [--no-prescreen] [file.psk ...]
+// Usage: psketch_tool [--lint] [--no-prescreen] [--jobs N] [--seed S]
+//                     [file.psk ...]
 //
 // Default mode parses one mini-PSketch source file, runs concurrent CEGIS
 // (with the static pre-screen analyzer unless --no-prescreen), and prints
 // the resolved implementation. With no file it runs the bundled
 // lock-free-enqueue demo equivalent to examples/enqueue.psk.
+//
+// --jobs N runs the model checker with N workers (0 = hardware
+// concurrency, default 1 = the sequential checker); --seed S seeds the
+// random-schedule falsifier (see the reproducibility contract in
+// verify/ModelChecker.h). Bad values are typed diagnostics with a
+// nonzero exit, like every other usage error.
 //
 // --lint runs the frontend validator and all three analysis passes over
 // every given file, prints the diagnostics, and skips synthesis. Exit
@@ -22,7 +29,11 @@
 #include "desugar/Flatten.h"
 #include "frontend/Parser.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -136,20 +147,51 @@ unsigned lintFile(const char *Path) {
   return Errors;
 }
 
+/// Parses the unsigned integer argument of \p Flag. \returns false after
+/// printing a typed diagnostic when the value is missing or malformed.
+bool parseUnsigned(const char *Flag, const char *Text, uint64_t Max,
+                   uint64_t &Out) {
+  if (!Text || !*Text) {
+    printDiag({analysis::Severity::Error, "cli",
+               std::string(Flag) + " requires a non-negative integer", ""});
+    return false;
+  }
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long Value = std::strtoull(Text, &End, 10);
+  if (errno != 0 || *End != '\0' || Value > Max ||
+      !std::isdigit(static_cast<unsigned char>(Text[0]))) {
+    printDiag({analysis::Severity::Error, "cli",
+               std::string(Flag) + ": bad value '" + Text + "'", ""});
+    return false;
+  }
+  Out = Value;
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool Lint = false, Prescreen = true;
+  uint64_t Jobs = 1, Seed = 1;
   std::vector<const char *> Files;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--lint") == 0)
       Lint = true;
     else if (std::strcmp(Argv[I], "--no-prescreen") == 0)
       Prescreen = false;
-    else if (std::strncmp(Argv[I], "--", 2) == 0) {
+    else if (std::strcmp(Argv[I], "--jobs") == 0) {
+      if (!parseUnsigned("--jobs", I + 1 < Argc ? Argv[++I] : nullptr,
+                         1u << 10, Jobs))
+        return 1;
+    } else if (std::strcmp(Argv[I], "--seed") == 0) {
+      if (!parseUnsigned("--seed", I + 1 < Argc ? Argv[++I] : nullptr,
+                         UINT64_MAX, Seed))
+        return 1;
+    } else if (std::strncmp(Argv[I], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: psketch_tool [--lint] [--no-prescreen] "
-                   "[file.psk ...]\n");
+                   "[--jobs N] [--seed S] [file.psk ...]\n");
       return 1;
     } else
       Files.push_back(Argv[I]);
@@ -186,9 +228,15 @@ int main(int Argc, char **Argv) {
 
   cegis::CegisConfig Cfg;
   Cfg.Prescreen = Prescreen;
+  Cfg.Checker.NumThreads = static_cast<unsigned>(Jobs);
+  Cfg.Checker.Seed = Seed;
   Cfg.Log = [](const std::string &Message) {
     std::printf("  %s\n", Message.c_str());
   };
+  unsigned Workers = verify::resolvedNumThreads(Cfg.Checker);
+  if (Workers > 1)
+    std::printf("checker: %u workers (seed %llu)\n", Workers,
+                static_cast<unsigned long long>(Seed));
   cegis::ConcurrentCegis C(P, Cfg);
   cegis::CegisResult R = C.run();
   for (const analysis::Diagnostic &D : R.Diags)

@@ -52,6 +52,20 @@ bool applyPrescreen(ir::Program &P, const flat::FlatProgram &FP,
   return false;
 }
 
+/// Folds one checker verdict's parallel-engine observability counters
+/// into the run's aggregate stats.
+void accumulateCheckerStats(CegisStats &Stats,
+                            const verify::CheckResult &Check) {
+  Stats.StatesExplored += Check.StatesExplored;
+  if (Check.WorkersUsed > Stats.CheckerWorkers)
+    Stats.CheckerWorkers = Check.WorkersUsed;
+  Stats.CheckerSteals += Check.Steals;
+  if (Stats.PerWorkerStates.size() < Check.PerWorkerStates.size())
+    Stats.PerWorkerStates.resize(Check.PerWorkerStates.size(), 0);
+  for (size_t I = 0; I < Check.PerWorkerStates.size(); ++I)
+    Stats.PerWorkerStates[I] += Check.PerWorkerStates[I];
+}
+
 } // namespace
 
 ConcurrentCegis::ConcurrentCegis(ir::Program &P, CegisConfig Cfg)
@@ -93,7 +107,7 @@ CegisResult ConcurrentCegis::run() {
     WallTimer VSolve;
     verify::CheckResult Check = verify::checkCandidate(M, Cfg.Checker);
     R.Stats.VsolveSeconds += VSolve.seconds();
-    R.Stats.StatesExplored += Check.StatesExplored;
+    accumulateCheckerStats(R.Stats, Check);
     ++R.Stats.Iterations;
 
     if (Check.Ok) {

@@ -8,8 +8,10 @@
 
 #include "support/Rng.h"
 #include "support/StrUtil.h"
+#include "verify/SearchCore.h"
 
 #include <cassert>
+#include <thread>
 #include <unordered_set>
 
 using namespace psketch;
@@ -32,154 +34,27 @@ std::string Counterexample::describe(const Machine &M) const {
   return Out;
 }
 
-namespace {
+unsigned psketch::verify::resolvedNumThreads(const CheckerConfig &Cfg) {
+  if (Cfg.NumThreads != 0)
+    return Cfg.NumThreads;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
 
-/// Thread readiness at a state.
-enum class Readiness : uint8_t { Finished, Ready, Blocked, WaitViolation };
+namespace {
 
 class Checker {
 public:
-  Checker(const Machine &M, const CheckerConfig &Cfg) : M(M), Cfg(Cfg) {}
+  Checker(const Machine &M, const CheckerConfig &Cfg, bool UseFalsifier)
+      : M(M), Cfg(Cfg), UseFalsifier(UseFalsifier) {}
 
   CheckResult run();
 
 private:
   const Machine &M;
   const CheckerConfig &Cfg;
+  bool UseFalsifier;
   CheckResult Result;
-
-  Readiness readiness(State &S, unsigned Ctx, Violation &V) const {
-    uint32_t Pc = M.normalizePc(S, Ctx);
-    const flat::FlatBody &B = M.bodyOf(Ctx);
-    if (Pc >= B.Steps.size())
-      return Readiness::Finished;
-    const flat::Step &St = B.Steps[Pc];
-    if (St.DynGuard) {
-      int64_t Guard = M.eval(S, Ctx, St.DynGuard, V);
-      if (V.isViolation())
-        return Readiness::WaitViolation;
-      if (Guard == 0)
-        return Readiness::Ready; // dynamic no-op: always runnable
-    }
-    if (St.WaitCond) {
-      int64_t Wait = M.eval(S, Ctx, St.WaitCond, V);
-      if (V.isViolation())
-        return Readiness::WaitViolation;
-      if (Wait == 0)
-        return Readiness::Blocked;
-    }
-    return Readiness::Ready;
-  }
-
-  /// Runs every pending thread-local step (POR). \returns false and fills
-  /// \p Cex on a violation inside a local step.
-  bool advanceLocal(State &S, std::vector<TraceStep> &Path,
-                    Counterexample &Cex) {
-    if (!Cfg.UsePOR)
-      return true;
-    bool Progress = true;
-    while (Progress) {
-      Progress = false;
-      for (unsigned Ctx = 0; Ctx < M.numThreads(); ++Ctx) {
-        while (M.nextStepIsLocal(S, Ctx)) {
-          Violation V;
-          ExecOutcome Out = M.execStep(S, Ctx, V);
-          if (Out.Result == StepResult::Violated) {
-            Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
-            Cex.Steps = Path;
-            Cex.V = V;
-            Cex.Where = Counterexample::Phase::Parallel;
-            return false;
-          }
-          assert(Out.Result == StepResult::Ok && "local step must run");
-          Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
-          Progress = true;
-        }
-      }
-    }
-    return true;
-  }
-
-  /// Classifies all threads. Fills \p ReadyOut, \p BlockedOut. \returns
-  /// false and fills \p Cex if evaluating some wait condition violates
-  /// memory safety.
-  bool classifyAll(State &S, std::vector<unsigned> &ReadyOut,
-                   std::vector<TraceStep> &BlockedOut,
-                   const std::vector<TraceStep> &Path, Counterexample &Cex) {
-    ReadyOut.clear();
-    BlockedOut.clear();
-    for (unsigned Ctx = 0; Ctx < M.numThreads(); ++Ctx) {
-      Violation V;
-      switch (readiness(S, Ctx, V)) {
-      case Readiness::Finished:
-        break;
-      case Readiness::Ready:
-        ReadyOut.push_back(Ctx);
-        break;
-      case Readiness::Blocked:
-        BlockedOut.push_back(TraceStep{Ctx, S.Pc[Ctx]});
-        break;
-      case Readiness::WaitViolation:
-        Cex.Steps = Path;
-        Cex.Steps.push_back(TraceStep{Ctx, S.Pc[Ctx]});
-        Cex.V = V;
-        Cex.Where = Counterexample::Phase::Parallel;
-        return false;
-      }
-    }
-    return true;
-  }
-
-  /// Checks the epilogue from a fully-finished parallel state. \returns
-  /// true if the run is clean.
-  bool checkEpilogue(const State &S, const std::vector<TraceStep> &Path,
-                     Counterexample &Cex) {
-    State Copy = S;
-    Violation V;
-    if (M.runToCompletion(Copy, M.epilogueCtx(), V))
-      return true;
-    Cex.Steps = Path;
-    Cex.V = V;
-    Cex.Where = Counterexample::Phase::Epilogue;
-    return false;
-  }
-
-  /// One random schedule. \returns true if it completed cleanly.
-  bool randomRun(const State &Start, Rng &R, Counterexample &Cex) {
-    State S = Start;
-    std::vector<TraceStep> Path;
-    std::vector<unsigned> Ready;
-    std::vector<TraceStep> Blocked;
-    for (;;) {
-      if (!advanceLocal(S, Path, Cex))
-        return false;
-      if (!classifyAll(S, Ready, Blocked, Path, Cex))
-        return false;
-      if (Ready.empty()) {
-        if (Blocked.empty())
-          return checkEpilogue(S, Path, Cex);
-        // All live threads blocked: deadlock.
-        Cex.Steps = Path;
-        Cex.V.VKind = Violation::Kind::Deadlock;
-        Cex.V.Label = "deadlock: all live threads blocked";
-        Cex.Where = Counterexample::Phase::Parallel;
-        Cex.DeadlockSet = Blocked;
-        return false;
-      }
-      unsigned Ctx = Ready[R.below(Ready.size())];
-      Violation V;
-      ExecOutcome Out = M.execStep(S, Ctx, V);
-      if (Out.Result == StepResult::Violated) {
-        Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
-        Cex.Steps = Path;
-        Cex.V = V;
-        Cex.Where = Counterexample::Phase::Parallel;
-        return false;
-      }
-      assert(Out.Result == StepResult::Ok && "ready thread must step");
-      Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
-    }
-  }
 
   /// Exhaustive DFS with state dedup. \returns true if no violation is
   /// reachable (within the state budget).
@@ -217,7 +92,7 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
     std::vector<TraceStep> Chain = std::move(Prefix);
     Counterexample Local;
     std::vector<TraceStep> Scratch;
-    if (!advanceLocal(S, Scratch, Local)) {
+    if (!detail::advanceLocal(M, Cfg.UsePOR, S, Scratch, Local)) {
       // Violation inside the local chain.
       ReconstructTo(Parent, Cex.Steps);
       Cex.Steps.insert(Cex.Steps.end(), Chain.begin(), Chain.end());
@@ -253,7 +128,7 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
     std::vector<unsigned> Ready;
     std::vector<TraceStep> Blocked;
     std::vector<TraceStep> Path; // only needed on failure
-    if (!classifyAll(S, Ready, Blocked, Path, Cex)) {
+    if (!detail::classifyAll(M, S, Ready, Blocked, Path, Cex)) {
       std::vector<TraceStep> Extra = std::move(Cex.Steps);
       ReconstructTo(static_cast<int>(Head), Cex.Steps);
       Cex.Steps.insert(Cex.Steps.end(), Extra.begin(), Extra.end());
@@ -269,7 +144,7 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
         return false;
       }
       ReconstructTo(static_cast<int>(Head), Path);
-      if (!checkEpilogue(S, Path, Cex))
+      if (!detail::checkEpilogue(M, S, Path, Cex))
         return false;
       continue;
     }
@@ -308,7 +183,7 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
   // Pushes a state after running its local chain; handles terminal states.
   // Returns false if a counterexample was found.
   auto PushState = [&](State S) -> bool {
-    if (!advanceLocal(S, Path, Cex))
+    if (!detail::advanceLocal(M, Cfg.UsePOR, S, Path, Cex))
       return false;
     std::string Key = M.encodeState(S);
     if (!Visited.insert(std::move(Key)).second) {
@@ -321,7 +196,7 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
 
     std::vector<unsigned> Ready;
     std::vector<TraceStep> Blocked;
-    if (!classifyAll(S, Ready, Blocked, Path, Cex))
+    if (!detail::classifyAll(M, S, Ready, Blocked, Path, Cex))
       return false;
     if (Ready.empty()) {
       if (!Blocked.empty()) {
@@ -332,7 +207,7 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
         Cex.DeadlockSet = Blocked;
         return false;
       }
-      return checkEpilogue(S, Path, Cex); // leaf: parallel phase done
+      return detail::checkEpilogue(M, S, Path, Cex); // leaf: phase done
     }
     Frame F;
     F.S = std::move(S);
@@ -388,13 +263,14 @@ CheckResult Checker::run() {
     }
   }
 
-  // Phase 2: cheap random falsification.
-  if (Cfg.UseRandomFalsifier) {
+  // Phase 2: cheap random falsification (one stream: the legacy
+  // single-threaded behaviour the reproducibility contract pins).
+  if (UseFalsifier) {
     Rng R(Cfg.Seed);
     for (unsigned I = 0; I < Cfg.RandomRuns; ++I) {
       ++Result.RandomRunsUsed;
       Counterexample Cex;
-      if (!randomRun(S0, R, Cex)) {
+      if (!detail::randomRun(M, Cfg.UsePOR, S0, R, Cex)) {
         Result.Ok = false;
         Result.Cex = std::move(Cex);
         return Result;
@@ -416,8 +292,16 @@ CheckResult Checker::run() {
 
 } // namespace
 
+CheckResult psketch::verify::detail::checkCandidateSequential(
+    const Machine &M, const CheckerConfig &Cfg, bool UseFalsifier) {
+  Checker C(M, Cfg, UseFalsifier);
+  return C.run();
+}
+
 CheckResult psketch::verify::checkCandidate(const Machine &M,
                                             const CheckerConfig &Cfg) {
-  Checker C(M, Cfg);
-  return C.run();
+  unsigned Workers = resolvedNumThreads(Cfg);
+  if (Workers <= 1)
+    return detail::checkCandidateSequential(M, Cfg, Cfg.UseRandomFalsifier);
+  return detail::checkCandidateParallel(M, Cfg, Workers);
 }

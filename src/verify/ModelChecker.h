@@ -21,6 +21,33 @@
 ///    thread-local state (or whose guard is dynamically false) without a
 ///    scheduling choice — they commute with every other thread.
 ///
+/// The checker is optionally multi-threaded (CheckerConfig::NumThreads):
+/// per-worker DFS over disjoint frontier subtrees with work-stealing, a
+/// sharded concurrent seen-state table, and cooperative cancellation on
+/// the first violation (docs/PARALLEL.md describes the design).
+///
+/// Reproducibility contract
+/// ------------------------
+///  * NumThreads == 1 is bit-exact legacy behaviour: the single-threaded
+///    search of the original checker, with ONE falsifier stream seeded
+///    directly from CheckerConfig::Seed. Verdict, counterexample, and
+///    state counts depend only on the candidate and the config.
+///  * NumThreads >= 2 (or 0 = hardware concurrency): verdict and
+///    counterexample depend only on (Seed, RandomRuns, Order, UsePOR,
+///    DeterministicCex) — NOT on the worker count or on OS scheduling.
+///    Falsifier run r always draws from an independent SplitMix64 stream
+///    derived from (Seed, r), so which worker executes which run is
+///    irrelevant; the reported counterexample is the one with the
+///    smallest failing run index. A violation found by the exhaustive
+///    phase is (under DeterministicCex, the default) re-derived by a
+///    deterministic sequential search, yielding the canonical minimal
+///    trace — the same trace for 2 and for 64 workers.
+///    Exception: runs that hit MaxStates (Result.Exhausted) explored a
+///    timing-dependent subset of the space, so their "Ok up to the
+///    budget" verdict carries the same caveat the budget itself does.
+///    StatesExplored / StatesDeduped / Steals / PerWorkerStates are
+///    scheduling-dependent statistics, never part of the verdict.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSKETCH_VERIFY_MODELCHECKER_H
@@ -31,6 +58,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 namespace psketch {
 namespace verify {
@@ -48,7 +76,22 @@ struct CheckerConfig {
   SearchOrder Order = SearchOrder::Dfs;
   uint64_t MaxStates = 4000000;   ///< exploration safety net
   uint64_t Seed = 1;              ///< random falsifier seed
+  /// Checker workers: 1 = exact legacy single-threaded behaviour,
+  /// 0 = hardware concurrency, N = that many workers.
+  unsigned NumThreads = 1;
+  /// When true (default) a violation found by the parallel exhaustive
+  /// phase is re-derived by a deterministic sequential search so the
+  /// reported counterexample is the canonical minimal trace regardless
+  /// of worker timing (see the reproducibility contract above). When
+  /// false the canonical-minimal trace *among those found before
+  /// cancellation* is reported — faster on failing candidates, but the
+  /// trace may vary across runs. Ignored when NumThreads == 1.
+  bool DeterministicCex = true;
 };
+
+/// \returns the worker count \p Cfg resolves to: NumThreads, with 0
+/// mapped to std::thread::hardware_concurrency() (at least 1).
+unsigned resolvedNumThreads(const CheckerConfig &Cfg);
 
 /// The checker's verdict.
 struct CheckResult {
@@ -58,6 +101,11 @@ struct CheckResult {
   uint64_t StatesExplored = 0;
   uint64_t StatesDeduped = 0;
   uint64_t RandomRunsUsed = 0;
+  unsigned WorkersUsed = 1; ///< resolved worker count of this run
+  uint64_t Steals = 0;      ///< work-stealing operations (0 sequentially)
+  /// Parallel runs: states explored per worker (the seeding pass counts
+  /// toward worker 0). Empty for sequential runs.
+  std::vector<uint64_t> PerWorkerStates;
 };
 
 /// Model-checks one candidate (a Machine is a program plus a hole

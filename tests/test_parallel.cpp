@@ -1,0 +1,423 @@
+//===- tests/test_parallel.cpp - parallel verification engine tests --------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// The reproducibility contract under test (verify/ModelChecker.h):
+//  * NumThreads == 1 is the bit-exact legacy sequential checker;
+//  * for any NumThreads >= 2, verdict and counterexample depend only on
+//    the config — not on the worker count or on thread timing;
+//  * run-to-exhaustion verdicts and state counts agree with the
+//    sequential engine (only scheduling statistics may differ).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Suite.h"
+#include "cegis/Cegis.h"
+#include "cegis/Enumerate.h"
+#include "desugar/Flatten.h"
+#include "support/Rng.h"
+#include "verify/ModelChecker.h"
+#include "verify/SearchCore.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace psketch;
+using namespace psketch::ir;
+using namespace psketch::verify;
+
+namespace {
+
+/// Two threads increment a shared counter Count times each; Atomic selects
+/// protected or racy increments. Epilogue asserts the exact total.
+void buildCounter(Program &P, bool Atomic, int Count, int Expected) {
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  for (int T = 0; T < 2; ++T) {
+    unsigned Id = P.addThread("inc");
+    BodyId B = BodyId::thread(Id);
+    unsigned Tmp = P.addLocal(B, "tmp", Type::Int, 0);
+    std::vector<StmtRef> Stmts;
+    for (int I = 0; I < Count; ++I) {
+      StmtRef Read = P.assign(P.locLocal(Tmp), P.global(X));
+      StmtRef Write = P.assign(
+          P.locGlobal(X), P.add(P.local(Tmp, Type::Int), P.constInt(1)));
+      if (Atomic)
+        Stmts.push_back(P.atomic(P.seq({Read, Write})));
+      else {
+        Stmts.push_back(Read);
+        Stmts.push_back(Write);
+      }
+    }
+    P.setRoot(B, P.seq(std::move(Stmts)));
+  }
+  P.setRoot(BodyId::epilogue(),
+            P.assertS(P.eq(P.global(X), P.constInt(Expected)), "total"));
+}
+
+CheckResult check(Program &P, CheckerConfig Cfg = CheckerConfig()) {
+  flat::FlatProgram FP = flat::flatten(P);
+  exec::Machine M(FP, {});
+  return checkCandidate(M, Cfg);
+}
+
+/// Two racing increment threads with a synthesized lock decision (the
+/// test_cegis sketch): exactly the hole value 1 resolves it.
+void buildLockChoice(Program &P, unsigned &HoleOut, int ExpectedTotal) {
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  unsigned LK = P.addGlobal("lk", Type::Int, -1);
+  HoleOut = P.addHole("useLock", 2);
+  for (int T = 0; T < 2; ++T) {
+    unsigned Id = P.addThread("inc");
+    BodyId B = BodyId::thread(Id);
+    unsigned Tmp = P.addLocal(B, "tmp", Type::Int, 0);
+    ExprRef Pid = P.constInt(T);
+    ExprRef UseLock = P.eq(P.holeValue(HoleOut), P.constInt(1));
+    P.setRoot(
+        B, P.seq({P.ifS(UseLock, P.lock(P.locGlobal(LK), P.global(LK), Pid)),
+                  P.assign(P.locLocal(Tmp), P.global(X)),
+                  P.assign(P.locGlobal(X),
+                           P.add(P.local(Tmp, Type::Int), P.constInt(1))),
+                  P.ifS(UseLock, P.unlock(P.locGlobal(LK), P.global(LK),
+                                          Pid, "owner"))}));
+  }
+  P.setRoot(BodyId::epilogue(),
+            P.assertS(P.eq(P.global(X), P.constInt(ExpectedTotal)),
+                      "expected total"));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Verdict and state-count agreement with the sequential engine.
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelChecker, OkRunMatchesSequentialStateCount) {
+  // Run-to-exhaustion explores the same deduped state set in any order,
+  // so an Ok run's StatesExplored must not depend on the worker count.
+  std::vector<uint64_t> Counts;
+  for (unsigned W : {1u, 2u, 4u, 8u}) {
+    Program P;
+    buildCounter(P, /*Atomic=*/true, 2, 4);
+    CheckerConfig Cfg;
+    Cfg.NumThreads = W;
+    CheckResult R = check(P, Cfg);
+    ASSERT_TRUE(R.Ok) << "W=" << W;
+    EXPECT_EQ(R.WorkersUsed, W);
+    Counts.push_back(R.StatesExplored);
+    if (W > 1) {
+      ASSERT_EQ(R.PerWorkerStates.size(), W);
+      uint64_t Sum = 0;
+      for (uint64_t S : R.PerWorkerStates)
+        Sum += S;
+      EXPECT_EQ(Sum, R.StatesExplored) << "W=" << W;
+    } else {
+      EXPECT_TRUE(R.PerWorkerStates.empty());
+      EXPECT_EQ(R.Steals, 0u);
+    }
+  }
+  for (uint64_t C : Counts)
+    EXPECT_EQ(C, Counts.front());
+}
+
+TEST(ParallelChecker, FailingRunAgreesOnVerdict) {
+  for (unsigned W : {2u, 3u, 8u}) {
+    Program P;
+    buildCounter(P, /*Atomic=*/false, 2, 4);
+    CheckerConfig Cfg;
+    Cfg.NumThreads = W;
+    CheckResult R = check(P, Cfg);
+    ASSERT_FALSE(R.Ok) << "W=" << W;
+    ASSERT_TRUE(R.Cex.has_value());
+    EXPECT_FALSE(R.Cex->Steps.empty());
+  }
+}
+
+TEST(ParallelChecker, ZeroResolvesToHardwareConcurrency) {
+  CheckerConfig Cfg;
+  Cfg.NumThreads = 0;
+  unsigned Resolved = resolvedNumThreads(Cfg);
+  EXPECT_GE(Resolved, 1u);
+  Program P;
+  buildCounter(P, /*Atomic=*/true, 1, 2);
+  CheckResult R = check(P, Cfg);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.WorkersUsed, Resolved);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic counterexample policy.
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelChecker, CexIdenticalAcrossWorkerCounts) {
+  // For any W >= 2 the reported counterexample is a function of the
+  // config alone: compare the traces at W = 2, 4, 8 step for step.
+  std::optional<CheckResult> First;
+  for (unsigned W : {2u, 4u, 8u}) {
+    Program P;
+    buildCounter(P, /*Atomic=*/false, 2, 4);
+    CheckerConfig Cfg;
+    Cfg.NumThreads = W;
+    Cfg.Seed = 7;
+    CheckResult R = check(P, Cfg);
+    ASSERT_FALSE(R.Ok) << "W=" << W;
+    if (!First) {
+      First = R;
+      continue;
+    }
+    ASSERT_EQ(R.Cex->Steps.size(), First->Cex->Steps.size()) << "W=" << W;
+    for (size_t I = 0; I < R.Cex->Steps.size(); ++I)
+      EXPECT_TRUE(R.Cex->Steps[I] == First->Cex->Steps[I])
+          << "W=" << W << " step " << I;
+    EXPECT_EQ(R.Cex->V.Label, First->Cex->V.Label);
+    // The winning falsifier run index is canonical (smallest failing),
+    // so the run count reported is worker-count independent too.
+    EXPECT_EQ(R.RandomRunsUsed, First->RandomRunsUsed) << "W=" << W;
+  }
+}
+
+TEST(ParallelChecker, CexStableAcrossRepeatedRuns) {
+  std::optional<Counterexample> First;
+  for (int Run = 0; Run < 3; ++Run) {
+    Program P;
+    buildCounter(P, /*Atomic=*/false, 3, 6);
+    CheckerConfig Cfg;
+    Cfg.NumThreads = 4;
+    Cfg.Seed = 42;
+    CheckResult R = check(P, Cfg);
+    ASSERT_FALSE(R.Ok);
+    if (!First) {
+      First = R.Cex;
+      continue;
+    }
+    ASSERT_EQ(R.Cex->Steps.size(), First->Steps.size()) << "run " << Run;
+    for (size_t I = 0; I < R.Cex->Steps.size(); ++I)
+      EXPECT_TRUE(R.Cex->Steps[I] == First->Steps[I]) << "run " << Run;
+  }
+}
+
+TEST(ParallelChecker, ExhaustivePhaseCexMatchesSequentialSearch) {
+  // With the falsifier off, a parallel violation is re-derived by the
+  // deterministic sequential search (DeterministicCex default): the
+  // trace must equal the legacy engine's exactly.
+  Program PSeq;
+  buildCounter(PSeq, /*Atomic=*/false, 2, 4);
+  CheckerConfig Seq;
+  Seq.UseRandomFalsifier = false;
+  CheckResult RSeq = check(PSeq, Seq);
+  ASSERT_FALSE(RSeq.Ok);
+
+  for (unsigned W : {2u, 8u}) {
+    Program P;
+    buildCounter(P, /*Atomic=*/false, 2, 4);
+    CheckerConfig Cfg;
+    Cfg.UseRandomFalsifier = false;
+    Cfg.NumThreads = W;
+    CheckResult R = check(P, Cfg);
+    ASSERT_FALSE(R.Ok) << "W=" << W;
+    ASSERT_EQ(R.Cex->Steps.size(), RSeq.Cex->Steps.size()) << "W=" << W;
+    for (size_t I = 0; I < R.Cex->Steps.size(); ++I)
+      EXPECT_TRUE(R.Cex->Steps[I] == RSeq.Cex->Steps[I]) << "W=" << W;
+    EXPECT_EQ(R.Cex->V.Label, RSeq.Cex->V.Label);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Falsifier seed streams.
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelChecker, StreamSeedsAreIndependent) {
+  std::set<uint64_t> Seen;
+  for (uint64_t Seed : {1ull, 2ull, 99ull})
+    for (uint64_t Run = 0; Run < 16; ++Run)
+      Seen.insert(detail::deriveStreamSeed(Seed, Run));
+  EXPECT_EQ(Seen.size(), 48u) << "stream seeds must not collide";
+  EXPECT_EQ(detail::deriveStreamSeed(5, 3), detail::deriveStreamSeed(5, 3));
+}
+
+TEST(ParallelChecker, SeedSelectsDifferentSchedulesButStaysDeterministic) {
+  auto RunWith = [](uint64_t Seed) {
+    Program P;
+    buildCounter(P, /*Atomic=*/false, 3, 6);
+    CheckerConfig Cfg;
+    Cfg.NumThreads = 4;
+    Cfg.Seed = Seed;
+    return check(P, Cfg);
+  };
+  CheckResult A1 = RunWith(11), A2 = RunWith(11);
+  ASSERT_FALSE(A1.Ok);
+  ASSERT_FALSE(A2.Ok);
+  ASSERT_EQ(A1.Cex->Steps.size(), A2.Cex->Steps.size());
+  for (size_t I = 0; I < A1.Cex->Steps.size(); ++I)
+    EXPECT_TRUE(A1.Cex->Steps[I] == A2.Cex->Steps[I]);
+  EXPECT_EQ(A1.RandomRunsUsed, A2.RandomRunsUsed);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized property: parallel vs sequential verdict agreement over the
+// benchmark suite's lightest rows with reference and random candidates.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The lightest entry of one suite family (the suite orders light first).
+std::optional<bench::SuiteEntry> lightestRow(const std::string &Family) {
+  auto Entries = bench::paperSuite(Family);
+  if (Entries.empty())
+    return std::nullopt;
+  size_t Best = 0;
+  for (size_t I = 1; I < Entries.size(); ++I)
+    if (Entries[I].CostClass < Entries[Best].CostClass)
+      Best = I;
+  return Entries[Best];
+}
+
+ir::HoleAssignment randomAssignment(const ir::Program &P, Rng &R) {
+  ir::HoleAssignment A(P.holes().size(), 0);
+  for (size_t H = 0; H < A.size(); ++H)
+    A[H] = R.below(P.holes()[H].NumChoices);
+  return A;
+}
+
+} // namespace
+
+TEST(ParallelChecker, SuiteVerdictsAgreeWithSequential) {
+  const char *Families[] = {"queueE1", "queueDE1", "queueE2",  "queueDE2",
+                            "barrier1", "barrier2", "fineset1", "fineset2",
+                            "lazyset",  "dinphilo"};
+  Rng R(0xB0B5EEDull);
+  for (const char *Family : Families) {
+    auto E = lightestRow(Family);
+    ASSERT_TRUE(E.has_value()) << Family;
+    auto P = E->Build();
+    flat::FlatProgram FP = flat::flatten(*P);
+
+    std::vector<ir::HoleAssignment> Candidates;
+    if (E->Reference)
+      Candidates.push_back(E->Reference(*P));
+    Candidates.push_back(randomAssignment(*P, R));
+    Candidates.push_back(randomAssignment(*P, R));
+
+    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+      exec::Machine M(FP, Candidates[CI]);
+      CheckerConfig Seq;
+      Seq.MaxStates = 300000; // bound the test's runtime
+      CheckResult RSeq = checkCandidate(M, Seq);
+      for (unsigned W : {2u, 8u}) {
+        CheckerConfig Par = Seq;
+        Par.NumThreads = W;
+        CheckResult RPar = checkCandidate(M, Par);
+        if (RSeq.Exhausted || RPar.Exhausted)
+          continue; // budget-capped verdicts carry no agreement promise
+        EXPECT_EQ(RPar.Ok, RSeq.Ok)
+            << Family << " candidate " << CI << " W=" << W;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CEGIS-level determinism and the parallel enumerator.
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelCegis, TrajectoryDeterministicAcrossWorkerCounts) {
+  // Same seed, any W >= 2: identical iteration count and resolution.
+  std::optional<cegis::CegisResult> First;
+  for (unsigned W : {2u, 2u, 4u, 8u}) { // repeat W=2 to cover rerun identity
+    Program P;
+    unsigned H = 0;
+    buildLockChoice(P, H, 2);
+    cegis::CegisConfig Cfg;
+    Cfg.Checker.NumThreads = W;
+    cegis::ConcurrentCegis C(P, Cfg);
+    cegis::CegisResult R = C.run();
+    ASSERT_TRUE(R.Stats.Resolvable) << "W=" << W;
+    EXPECT_EQ(R.Candidate[H], 1u);
+    EXPECT_EQ(R.Stats.CheckerWorkers, W);
+    if (!First) {
+      First = std::move(R);
+      continue;
+    }
+    EXPECT_EQ(R.Stats.Iterations, First->Stats.Iterations) << "W=" << W;
+    EXPECT_EQ(R.Candidate, First->Candidate) << "W=" << W;
+  }
+}
+
+TEST(ParallelCegis, SequentialConfigUnchangedByDispatch) {
+  // NumThreads == 1 must take the legacy path: same verdict, iterations,
+  // and state totals as the default config.
+  Program PA, PB;
+  unsigned HA = 0, HB = 0;
+  buildLockChoice(PA, HA, 2);
+  buildLockChoice(PB, HB, 2);
+  cegis::CegisConfig Default;
+  cegis::CegisConfig One;
+  One.Checker.NumThreads = 1;
+  cegis::CegisResult RA = cegis::ConcurrentCegis(PA, Default).run();
+  cegis::CegisResult RB = cegis::ConcurrentCegis(PB, One).run();
+  ASSERT_TRUE(RA.Stats.Resolvable);
+  ASSERT_TRUE(RB.Stats.Resolvable);
+  EXPECT_EQ(RA.Stats.Iterations, RB.Stats.Iterations);
+  EXPECT_EQ(RA.Stats.StatesExplored, RB.Stats.StatesExplored);
+  EXPECT_EQ(RB.Stats.CheckerWorkers, 1u);
+  EXPECT_EQ(RB.Stats.CheckerSteals, 0u);
+}
+
+namespace {
+
+void buildConstantHole(Program &P, unsigned &HoleOut) {
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  HoleOut = P.addHole("h", 16);
+  unsigned T = P.addThread("t");
+  P.setRoot(BodyId::thread(T), P.assign(P.locGlobal(X), P.holeValue(HoleOut)));
+  P.setRoot(BodyId::epilogue(),
+            P.assertS(P.ge(P.global(X), P.constInt(11)), "x>=11"));
+}
+
+std::set<ir::HoleAssignment> solutionSet(const cegis::EnumerateResult &R) {
+  std::set<ir::HoleAssignment> S;
+  for (const cegis::Solution &Sol : R.Solutions)
+    S.insert(Sol.Candidate);
+  return S;
+}
+
+} // namespace
+
+TEST(ParallelEnumerate, BatchedEnumerationMatchesSerial) {
+  // h in [11, 15] are exactly the correct candidates: run to exhaustion,
+  // the serial and the batched enumerator must find the same set.
+  Program PSerial, PPar;
+  unsigned HS = 0, HP = 0;
+  buildConstantHole(PSerial, HS);
+  buildConstantHole(PPar, HP);
+
+  cegis::CegisConfig Serial;
+  cegis::EnumerateResult RSerial =
+      cegis::enumerateSolutions(PSerial, 16, Serial);
+  cegis::CegisConfig Par;
+  Par.Checker.NumThreads = 4;
+  cegis::EnumerateResult RPar = cegis::enumerateSolutions(PPar, 16, Par);
+
+  ASSERT_TRUE(RSerial.Stats.Resolvable);
+  ASSERT_TRUE(RPar.Stats.Resolvable);
+  EXPECT_TRUE(RSerial.Exhausted);
+  EXPECT_TRUE(RPar.Exhausted);
+  EXPECT_EQ(solutionSet(RSerial).size(), 5u);
+  EXPECT_EQ(solutionSet(RSerial), solutionSet(RPar));
+  // Costs are schedule simulations of the same machines: identical too.
+  EXPECT_EQ(RSerial.Solutions.front().Cost, RPar.Solutions.front().Cost);
+}
+
+TEST(ParallelEnumerate, RespectsMaxSolutionsCap) {
+  Program P;
+  unsigned H = 0;
+  buildConstantHole(P, H);
+  cegis::CegisConfig Par;
+  Par.Checker.NumThreads = 8; // batch larger than the remaining want
+  cegis::EnumerateResult R = cegis::enumerateSolutions(P, 2, Par);
+  ASSERT_TRUE(R.Stats.Resolvable);
+  EXPECT_EQ(R.Solutions.size(), 2u);
+  for (const cegis::Solution &S : R.Solutions)
+    EXPECT_GE(S.Candidate[H], 11u);
+}
