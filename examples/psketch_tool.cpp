@@ -4,7 +4,7 @@
 // Structures" (PLDI 2008).
 //
 // Usage: psketch_tool [--lint] [--no-prescreen] [--jobs N] [--seed S]
-//                     [file.psk ...]
+//                     [--visited exact|fingerprint] [file.psk ...]
 //
 // Default mode parses one mini-PSketch source file, runs concurrent CEGIS
 // (with the static pre-screen analyzer unless --no-prescreen), and prints
@@ -14,8 +14,10 @@
 // --jobs N runs the model checker with N workers (0 = hardware
 // concurrency, default 1 = the sequential checker); --seed S seeds the
 // random-schedule falsifier (see the reproducibility contract in
-// verify/ModelChecker.h). Bad values are typed diagnostics with a
-// nonzero exit, like every other usage error.
+// verify/ModelChecker.h); --visited picks the checker's seen-state
+// representation (exact keys, the default, or 8-byte fingerprints — see
+// docs/PARALLEL.md §5 for the soundness trade). Bad values are typed
+// diagnostics with a nonzero exit, like every other usage error.
 //
 // --lint runs the frontend validator and all three analysis passes over
 // every given file, prints the diagnostics, and skips synthesis. Exit
@@ -169,11 +171,30 @@ bool parseUnsigned(const char *Flag, const char *Text, uint64_t Max,
   return true;
 }
 
+/// Parses the --visited mode argument. \returns false after printing a
+/// typed diagnostic when the value is missing or not a known mode.
+bool parseVisited(const char *Text, verify::VisitedMode &Out) {
+  if (Text && std::strcmp(Text, "exact") == 0) {
+    Out = verify::VisitedMode::Exact;
+    return true;
+  }
+  if (Text && std::strcmp(Text, "fingerprint") == 0) {
+    Out = verify::VisitedMode::Fingerprint;
+    return true;
+  }
+  printDiag({analysis::Severity::Error, "cli",
+             std::string("--visited: bad value '") + (Text ? Text : "") +
+                 "' (expected 'exact' or 'fingerprint')",
+             ""});
+  return false;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool Lint = false, Prescreen = true;
   uint64_t Jobs = 1, Seed = 1;
+  verify::VisitedMode Visited = verify::VisitedMode::Exact;
   std::vector<const char *> Files;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--lint") == 0)
@@ -188,10 +209,17 @@ int main(int Argc, char **Argv) {
       if (!parseUnsigned("--seed", I + 1 < Argc ? Argv[++I] : nullptr,
                          UINT64_MAX, Seed))
         return 1;
+    } else if (std::strcmp(Argv[I], "--visited") == 0) {
+      if (!parseVisited(I + 1 < Argc ? Argv[++I] : nullptr, Visited))
+        return 1;
+    } else if (std::strncmp(Argv[I], "--visited=", 10) == 0) {
+      if (!parseVisited(Argv[I] + 10, Visited))
+        return 1;
     } else if (std::strncmp(Argv[I], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: psketch_tool [--lint] [--no-prescreen] "
-                   "[--jobs N] [--seed S] [file.psk ...]\n");
+                   "[--jobs N] [--seed S] "
+                   "[--visited exact|fingerprint] [file.psk ...]\n");
       return 1;
     } else
       Files.push_back(Argv[I]);
@@ -230,6 +258,10 @@ int main(int Argc, char **Argv) {
   Cfg.Prescreen = Prescreen;
   Cfg.Checker.NumThreads = static_cast<unsigned>(Jobs);
   Cfg.Checker.Seed = Seed;
+  Cfg.Checker.Visited = Visited;
+  if (Visited == verify::VisitedMode::Fingerprint)
+    std::printf("checker: fingerprint visited set (64-bit hash "
+                "compaction; sound up to hash collisions)\n");
   Cfg.Log = [](const std::string &Message) {
     std::printf("  %s\n", Message.c_str());
   };

@@ -60,6 +60,7 @@ void accumulateCheckerStats(CegisStats &Stats,
   if (Check.WorkersUsed > Stats.CheckerWorkers)
     Stats.CheckerWorkers = Check.WorkersUsed;
   Stats.CheckerSteals += Check.Steals;
+  Stats.FingerprintCollisions += Check.FingerprintCollisions;
   if (Stats.PerWorkerStates.size() < Check.PerWorkerStates.size())
     Stats.PerWorkerStates.resize(Check.PerWorkerStates.size(), 0);
   for (size_t I = 0; I < Check.PerWorkerStates.size(); ++I)
@@ -187,7 +188,7 @@ CegisResult SequentialCegis::run() {
       for (const synth::GlobalOverrides &Input : Tests) {
         State S = M.initialState();
         for (const auto &[Id, Value] : Input)
-          S.Globals[M.globalOffset(Id)] = P.wrap(Value, P.globals()[Id].Ty);
+          S.setGlobal(M.globalOffset(Id), P.wrap(Value, P.globals()[Id].Ty));
         Violation V;
         bool Ok = M.runToCompletion(S, M.prologueCtx(), V);
         for (unsigned T = 0; Ok && T < M.numThreads(); ++T)

@@ -89,6 +89,9 @@ struct CegisStats {
   unsigned CheckerWorkers = 1;
   uint64_t CheckerSteals = 0;
   std::vector<uint64_t> PerWorkerStates;
+  /// Audited fingerprint collisions across all verifier calls (always 0
+  /// in Exact mode or with the audit off; see CheckerConfig::Visited).
+  uint64_t FingerprintCollisions = 0;
 };
 
 /// A finished run.

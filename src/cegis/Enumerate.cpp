@@ -28,9 +28,11 @@ namespace {
 
 /// One schedule's cost: executed steps plus blocked attempts (lock/wait
 /// contention shows up as blocking, so candidates that hold locks longer
-/// or spin more score worse). Returns UINT64_MAX on any failure.
-uint64_t scheduleCost(const Machine &M, Rng *R) {
-  State S = M.initialState();
+/// or spin more score worse). \p Init is the machine's initial state,
+/// built once by the caller and copied per schedule (a flat memcpy).
+/// Returns UINT64_MAX on any failure.
+uint64_t scheduleCost(const Machine &M, const State &Init, Rng *R) {
+  State S = Init;
   Violation V;
   uint64_t Cost = 0;
 
@@ -90,12 +92,13 @@ uint64_t scheduleCost(const Machine &M, Rng *R) {
 uint64_t psketch::cegis::measureCandidate(const flat::FlatProgram &FP,
                                           const ir::HoleAssignment &Candidate) {
   Machine M(FP, Candidate);
-  uint64_t Total = scheduleCost(M, nullptr); // deterministic round-robin
+  const State Init = M.initialState(); // shared by all four schedules
+  uint64_t Total = scheduleCost(M, Init, nullptr); // deterministic RR
   if (Total == std::numeric_limits<uint64_t>::max())
     return Total;
   for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
     Rng R(Seed * 0x9e3779b9u);
-    uint64_t Cost = scheduleCost(M, &R);
+    uint64_t Cost = scheduleCost(M, Init, &R);
     if (Cost == std::numeric_limits<uint64_t>::max())
       return Cost;
     Total += Cost;
@@ -112,6 +115,7 @@ void foldCheck(CegisStats &Stats, const verify::CheckResult &Check) {
   if (Check.WorkersUsed > Stats.CheckerWorkers)
     Stats.CheckerWorkers = Check.WorkersUsed;
   Stats.CheckerSteals += Check.Steals;
+  Stats.FingerprintCollisions += Check.FingerprintCollisions;
   if (Stats.PerWorkerStates.size() < Check.PerWorkerStates.size())
     Stats.PerWorkerStates.resize(Check.PerWorkerStates.size(), 0);
   for (size_t I = 0; I < Check.PerWorkerStates.size(); ++I)

@@ -7,8 +7,10 @@
 #include "exec/Machine.h"
 
 #include "ir/StaticEval.h"
+#include "support/Hash.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace psketch;
 using namespace psketch::exec;
@@ -25,6 +27,30 @@ Machine::Machine(const flat::FlatProgram &FP, const HoleAssignment &Holes)
     GlobalOffsets.push_back(NumGlobalSlots);
     NumGlobalSlots += G.ArraySize == 0 ? 1 : G.ArraySize;
   }
+
+  // The flat state layout: globals, heap, allocation counter, then per
+  // context its pc followed by its locals. Threads come first so the
+  // scheduler-relevant visited key is a contiguous prefix (SchedWords);
+  // the prologue/epilogue contexts land after it.
+  Layout.GlobalsOff = 0;
+  Layout.HeapOff = NumGlobalSlots;
+  unsigned HeapSlots =
+      static_cast<unsigned>(P.poolSize() * P.fields().size());
+  Layout.AllocOff = Layout.HeapOff + HeapSlots;
+  unsigned Off = Layout.AllocOff + 1;
+  Layout.CtxOff.resize(numContexts());
+  Layout.LocalsCount.resize(numContexts());
+  for (unsigned Ctx = 0; Ctx < numContexts(); ++Ctx) {
+    Layout.CtxOff[Ctx] = Off;
+    Layout.LocalsCount[Ctx] =
+        static_cast<unsigned>(irBodyOf(Ctx).Locals.size());
+    Off += 1 + Layout.LocalsCount[Ctx];
+    if (Ctx + 1 == numThreads())
+      Layout.SchedWords = Off;
+  }
+  if (numThreads() == 0)
+    Layout.SchedWords = Layout.AllocOff + 1;
+  Layout.Words = Off;
 
   // Precompute statically dead steps for this candidate.
   DeadStep.resize(numContexts());
@@ -60,23 +86,17 @@ const Body &Machine::irBodyOf(unsigned Ctx) const {
 }
 
 State Machine::initialState() const {
-  State S;
-  S.Globals.assign(NumGlobalSlots, 0);
+  State S(Layout); // zero-filled: heap, counter, and pcs are already right
   for (size_t I = 0; I < P.globals().size(); ++I) {
     const Global &G = P.globals()[I];
     unsigned Count = G.ArraySize == 0 ? 1 : G.ArraySize;
     for (unsigned J = 0; J < Count; ++J)
-      S.Globals[GlobalOffsets[I] + J] = G.Init;
+      S.setGlobal(GlobalOffsets[I] + J, G.Init);
   }
-  S.Heap.assign(static_cast<size_t>(P.poolSize()) * P.fields().size(), 0);
-  S.AllocCount = 0;
-  S.Locals.resize(numContexts());
-  S.Pc.assign(numContexts(), 0);
   for (unsigned Ctx = 0; Ctx < numContexts(); ++Ctx) {
     const Body &B = irBodyOf(Ctx);
-    S.Locals[Ctx].reserve(B.Locals.size());
-    for (const Local &L : B.Locals)
-      S.Locals[Ctx].push_back(L.Init);
+    for (size_t I = 0; I < B.Locals.size(); ++I)
+      S.setLocal(Ctx, static_cast<unsigned>(I), B.Locals[I].Init);
   }
   return S;
 }
@@ -91,7 +111,7 @@ int64_t Machine::eval(const State &S, unsigned Ctx, ExprRef E,
   case ExprKind::ConstInt:
     return E->IntValue;
   case ExprKind::GlobalRead:
-    return S.Globals[GlobalOffsets[E->Id]];
+    return S.global(GlobalOffsets[E->Id]);
   case ExprKind::GlobalArrayRead: {
     int64_t Index = eval(S, Ctx, E->Ops[0], V);
     if (V.isViolation())
@@ -102,11 +122,10 @@ int64_t Machine::eval(const State &S, unsigned Ctx, ExprRef E,
       V.Label = "array index out of bounds: " + G.Name;
       return 0;
     }
-    return S.Globals[GlobalOffsets[E->Id] + static_cast<unsigned>(Index)];
+    return S.global(GlobalOffsets[E->Id] + static_cast<unsigned>(Index));
   }
   case ExprKind::LocalRead:
-    assert(E->Id < S.Locals[Ctx].size() && "bad local slot");
-    return S.Locals[Ctx][E->Id];
+    return S.local(Ctx, E->Id);
   case ExprKind::FieldRead: {
     int64_t Ptr = eval(S, Ctx, E->Ops[0], V);
     if (V.isViolation())
@@ -116,7 +135,7 @@ int64_t Machine::eval(const State &S, unsigned Ctx, ExprRef E,
       V.Label = "null or invalid pointer dereference";
       return 0;
     }
-    return S.Heap[static_cast<size_t>(Ptr - 1) * P.fields().size() + E->Id];
+    return S.heap(static_cast<size_t>(Ptr - 1) * P.fields().size() + E->Id);
   }
   case ExprKind::HoleRead:
     assert(E->Id < Holes.size() && "unassigned hole during execution");
@@ -183,9 +202,9 @@ int64_t Machine::loadLoc(const State &S, unsigned Ctx, const Loc &L,
                          Violation &V) const {
   switch (L.LocKind) {
   case Loc::Kind::Global:
-    return S.Globals[GlobalOffsets[L.Id]];
+    return S.global(GlobalOffsets[L.Id]);
   case Loc::Kind::Local:
-    return S.Locals[Ctx][L.Id];
+    return S.local(Ctx, L.Id);
   case Loc::Kind::GlobalArray:
   case Loc::Kind::Field:
     break;
@@ -202,11 +221,11 @@ void Machine::storeLoc(State &S, unsigned Ctx, const Loc &L, int64_t Value,
                        Violation &V) const {
   switch (L.LocKind) {
   case Loc::Kind::Global:
-    S.Globals[GlobalOffsets[L.Id]] = P.wrap(Value, P.globals()[L.Id].Ty);
+    S.setGlobal(GlobalOffsets[L.Id], P.wrap(Value, P.globals()[L.Id].Ty));
     return;
   case Loc::Kind::Local: {
     Type Ty = irBodyOf(Ctx).Locals[L.Id].Ty;
-    S.Locals[Ctx][L.Id] = P.wrap(Value, Ty);
+    S.setLocal(Ctx, L.Id, P.wrap(Value, Ty));
     return;
   }
   case Loc::Kind::GlobalArray: {
@@ -219,8 +238,8 @@ void Machine::storeLoc(State &S, unsigned Ctx, const Loc &L, int64_t Value,
       V.Label = "array store out of bounds: " + G.Name;
       return;
     }
-    S.Globals[GlobalOffsets[L.Id] + static_cast<unsigned>(Index)] =
-        P.wrap(Value, G.Ty);
+    S.setGlobal(GlobalOffsets[L.Id] + static_cast<unsigned>(Index),
+                P.wrap(Value, G.Ty));
     return;
   }
   case Loc::Kind::Field: {
@@ -233,8 +252,8 @@ void Machine::storeLoc(State &S, unsigned Ctx, const Loc &L, int64_t Value,
       return;
     }
     Type Ty = P.fields()[L.Id].Ty;
-    S.Heap[static_cast<size_t>(Ptr - 1) * P.fields().size() + L.Id] =
-        P.wrap(Value, Ty);
+    S.setHeap(static_cast<size_t>(Ptr - 1) * P.fields().size() + L.Id,
+              P.wrap(Value, Ty));
     return;
   }
   }
@@ -246,10 +265,10 @@ void Machine::storeLoc(State &S, unsigned Ctx, const Loc &L, int64_t Value,
 
 uint32_t Machine::normalizePc(State &S, unsigned Ctx) const {
   const FlatBody &B = bodyOf(Ctx);
-  uint32_t Pc = S.Pc[Ctx];
+  uint32_t Pc = S.pc(Ctx);
   while (Pc < B.Steps.size() && DeadStep[Ctx][Pc])
     ++Pc;
-  S.Pc[Ctx] = Pc;
+  S.setPc(Ctx, Pc);
   return Pc;
 }
 
@@ -308,13 +327,13 @@ bool Machine::execOps(State &S, unsigned Ctx, const Step &St,
       break;
     }
     case MicroOp::Kind::Alloc: {
-      if (S.AllocCount >= static_cast<int64_t>(P.poolSize())) {
+      if (S.allocCount() >= static_cast<int64_t>(P.poolSize())) {
         V.VKind = Violation::Kind::PoolExhausted;
         V.Label = "node pool exhausted";
         return false;
       }
-      int64_t NewNode = S.AllocCount + 1;
-      S.AllocCount = NewNode;
+      int64_t NewNode = S.allocCount() + 1;
+      S.setAllocCount(NewNode);
       storeLoc(S, Ctx, Op.Target, NewNode, V);
       if (V.isViolation())
         return false;
@@ -337,7 +356,7 @@ ExecOutcome Machine::execStep(State &S, unsigned Ctx, Violation &V) const {
     if (V.isViolation())
       return ExecOutcome{StepResult::Violated, Pc};
     if (Guard == 0) {
-      S.Pc[Ctx] = Pc + 1; // the step is a dynamic no-op
+      S.setPc(Ctx, Pc + 1); // the step is a dynamic no-op
       return ExecOutcome{StepResult::Ok, Pc};
     }
   }
@@ -350,7 +369,7 @@ ExecOutcome Machine::execStep(State &S, unsigned Ctx, Violation &V) const {
   }
   if (!execOps(S, Ctx, St, V))
     return ExecOutcome{StepResult::Violated, Pc};
-  S.Pc[Ctx] = Pc + 1;
+  S.setPc(Ctx, Pc + 1);
   return ExecOutcome{StepResult::Ok, Pc};
 }
 
@@ -373,22 +392,14 @@ bool Machine::runToCompletion(State &S, unsigned Ctx, Violation &V) const {
 }
 
 std::string Machine::encodeState(const State &S) const {
-  std::string Bytes;
-  Bytes.reserve(2 * (S.Globals.size() + S.Heap.size() +
-                     4 * FP.Threads.size() + 8));
-  auto Put16 = [&Bytes](int64_t Value) {
-    Bytes.push_back(static_cast<char>(Value & 0xff));
-    Bytes.push_back(static_cast<char>((Value >> 8) & 0xff));
-  };
-  for (int64_t G : S.Globals)
-    Put16(G);
-  for (int64_t H : S.Heap)
-    Put16(H);
-  Put16(S.AllocCount);
-  for (unsigned Ctx = 0; Ctx < FP.Threads.size(); ++Ctx) {
-    Put16(static_cast<int64_t>(S.Pc[Ctx]));
-    for (int64_t L : S.Locals[Ctx])
-      Put16(L);
-  }
-  return Bytes;
+  // Full 64-bit words, one memcpy. The old per-value 16-bit packing
+  // silently truncated: two states differing only above bit 15 aliased
+  // in the visited set even in Exact mode.
+  return std::string(reinterpret_cast<const char *>(S.words()),
+                     static_cast<size_t>(Layout.SchedWords) *
+                         sizeof(int64_t));
+}
+
+uint64_t Machine::fingerprintState(const State &S) const {
+  return hashWords(S.words(), Layout.SchedWords);
 }

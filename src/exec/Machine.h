@@ -21,6 +21,7 @@
 #define PSKETCH_EXEC_MACHINE_H
 
 #include "desugar/Flat.h"
+#include "exec/StateVec.h"
 #include "ir/HoleAssignment.h"
 
 #include <cstdint>
@@ -44,15 +45,6 @@ struct Violation {
   std::string Label;
 
   bool isViolation() const { return VKind != Kind::None; }
-};
-
-/// A machine state. Plain value type: copyable for search.
-struct State {
-  std::vector<int64_t> Globals; ///< flattened scalars and arrays
-  std::vector<int64_t> Heap;    ///< PoolSize x NumFields field values
-  int64_t AllocCount = 0;       ///< nodes allocated so far
-  std::vector<std::vector<int64_t>> Locals; ///< per context
-  std::vector<uint32_t> Pc;                 ///< per context
 };
 
 /// Result of attempting one step of one context.
@@ -118,13 +110,24 @@ public:
   /// fills \p V.
   int64_t eval(const State &S, unsigned Ctx, ir::ExprRef E, Violation &V) const;
 
-  /// Encodes the scheduler-relevant part of a state into a compact byte
-  /// string (used as the model checker's visited-set key). Prologue and
-  /// epilogue locals are excluded: they cannot differ during the parallel
-  /// phase.
+  /// Encodes the scheduler-relevant part of a state into a byte string
+  /// (the model checker's Exact-mode visited-set key): the full 64-bit
+  /// native-endian words of the layout's scheduler prefix, as one memcpy.
+  /// Prologue and epilogue pc/locals are excluded: they cannot differ
+  /// during the parallel phase.
   std::string encodeState(const State &S) const;
 
-  /// \returns the offset of global \p Id in State::Globals.
+  /// 64-bit fingerprint of the same scheduler-relevant prefix
+  /// encodeState keys (support/Hash.h): the Fingerprint-mode visited key.
+  uint64_t fingerprintState(const State &S) const;
+
+  /// \returns the flat-state layout this machine's states share.
+  const StateLayout &layout() const { return Layout; }
+
+  /// Words in the scheduler-relevant prefix (the Exact key is 8x this).
+  unsigned schedWords() const { return Layout.SchedWords; }
+
+  /// \returns the slot offset of global \p Id (State::global index).
   unsigned globalOffset(unsigned Id) const { return GlobalOffsets[Id]; }
 
   /// \returns total flattened global slots.
@@ -137,6 +140,7 @@ private:
 
   std::vector<unsigned> GlobalOffsets;
   unsigned NumGlobalSlots = 0;
+  StateLayout Layout;
   std::vector<std::vector<char>> DeadStep; ///< per context, per pc
 
   const ir::Body &irBodyOf(unsigned Ctx) const;

@@ -9,10 +9,10 @@
 #include "support/Rng.h"
 #include "support/StrUtil.h"
 #include "verify/SearchCore.h"
+#include "verify/Visited.h"
 
 #include <cassert>
 #include <thread>
-#include <unordered_set>
 
 using namespace psketch;
 using namespace psketch::verify;
@@ -46,7 +46,7 @@ namespace {
 class Checker {
 public:
   Checker(const Machine &M, const CheckerConfig &Cfg, bool UseFalsifier)
-      : M(M), Cfg(Cfg), UseFalsifier(UseFalsifier) {}
+      : M(M), Cfg(Cfg), UseFalsifier(UseFalsifier), Visited(Cfg) {}
 
   CheckResult run();
 
@@ -55,12 +55,22 @@ private:
   const CheckerConfig &Cfg;
   bool UseFalsifier;
   CheckResult Result;
+  detail::VisitedTable Visited;
 
-  /// Exhaustive DFS with state dedup. \returns true if no violation is
-  /// reachable (within the state budget).
+  /// Exhaustive DFS, legacy copy-per-successor loop (UseUndoLog=false).
+  /// \returns true if no violation is reachable (within the budget).
   bool dfs(const State &Start, Counterexample &Cex);
 
+  /// Exhaustive DFS over ONE state mutated in place: each scheduling
+  /// choice is applied with an attached undo log and reverted on
+  /// backtrack, so a step costs O(changed words) instead of a full state
+  /// copy. Operation order (local chain, dedup, classify, frame push) is
+  /// identical to dfs(), so verdict, counterexample, and state counts
+  /// match it exactly — tested by test_state_engine.cpp.
+  bool dfsUndo(const State &Start, Counterexample &Cex);
+
   /// Exhaustive BFS with state dedup: finds shortest counterexamples.
+  /// Keeps per-node copies (parent links need live states).
   bool bfs(const State &Start, Counterexample &Cex);
 };
 
@@ -73,7 +83,6 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
     std::vector<TraceStep> Steps; ///< steps taken from the parent
   };
   std::vector<Node> Nodes;
-  std::unordered_set<std::string> Visited;
 
   auto ReconstructTo = [&](int Index, std::vector<TraceStep> &Out) {
     std::vector<int> Chain;
@@ -104,7 +113,7 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
       return false;
     }
     Chain.insert(Chain.end(), Scratch.begin(), Scratch.end());
-    if (!Visited.insert(M.encodeState(S)).second) {
+    if (!Visited.insert(M, S)) {
       ++Result.StatesDeduped;
       return true;
     }
@@ -178,15 +187,13 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
 
   std::vector<Frame> Stack;
   std::vector<TraceStep> Path;
-  std::unordered_set<std::string> Visited;
 
   // Pushes a state after running its local chain; handles terminal states.
   // Returns false if a counterexample was found.
   auto PushState = [&](State S) -> bool {
     if (!detail::advanceLocal(M, Cfg.UsePOR, S, Path, Cex))
       return false;
-    std::string Key = M.encodeState(S);
-    if (!Visited.insert(std::move(Key)).second) {
+    if (!Visited.insert(M, S)) {
       ++Result.StatesDeduped;
       return true; // already explored; not a counterexample
     }
@@ -248,6 +255,94 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
   return true;
 }
 
+bool Checker::dfsUndo(const State &Start, Counterexample &Cex) {
+  // A frame carries no state: the single search state S is reverted to
+  // the frame's log mark before each of its scheduling choices.
+  struct Frame {
+    std::vector<unsigned> Choices;
+    size_t NextChoice = 0;
+    size_t PathLen = 0;
+    exec::UndoLog::Mark Mark = 0;
+  };
+
+  std::vector<Frame> Stack;
+  std::vector<TraceStep> Path;
+  exec::UndoLog Log;
+  State S = Start;
+  S.attachLog(&Log);
+
+  // Enters S in place: local chain, dedup, classification, terminal
+  // handling; pushes a frame when there are scheduling choices. The
+  // frame's mark is taken AFTER the local chain and pc normalization, so
+  // reverting to it lands exactly on the entered (deduped) state.
+  // Returns false if a counterexample was found.
+  auto Enter = [&]() -> bool {
+    if (!detail::advanceLocal(M, Cfg.UsePOR, S, Path, Cex))
+      return false;
+    if (!Visited.insert(M, S)) {
+      ++Result.StatesDeduped;
+      return true; // already explored; not a counterexample
+    }
+    ++Result.StatesExplored;
+    if (Result.StatesExplored >= Cfg.MaxStates)
+      Result.Exhausted = true;
+
+    std::vector<unsigned> Ready;
+    std::vector<TraceStep> Blocked;
+    if (!detail::classifyAll(M, S, Ready, Blocked, Path, Cex))
+      return false;
+    if (Ready.empty()) {
+      if (!Blocked.empty()) {
+        Cex.Steps = Path;
+        Cex.V.VKind = Violation::Kind::Deadlock;
+        Cex.V.Label = "deadlock: all live threads blocked";
+        Cex.Where = Counterexample::Phase::Parallel;
+        Cex.DeadlockSet = Blocked;
+        return false;
+      }
+      // checkEpilogue snapshots S; the copy does not inherit the log.
+      return detail::checkEpilogue(M, S, Path, Cex);
+    }
+    Frame F;
+    F.Choices = std::move(Ready);
+    F.PathLen = Path.size();
+    F.Mark = Log.mark();
+    Stack.push_back(std::move(F));
+    return true;
+  };
+
+  if (!Enter())
+    return false;
+
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.NextChoice >= Top.Choices.size() || Result.Exhausted) {
+      S.revertTo(Top.Mark);
+      Stack.pop_back();
+      if (!Stack.empty())
+        Path.resize(Stack.back().PathLen);
+      continue;
+    }
+    S.revertTo(Top.Mark); // undo the previous choice's subtree
+    Path.resize(Top.PathLen);
+    unsigned Ctx = Top.Choices[Top.NextChoice++];
+    Violation V;
+    ExecOutcome Out = M.execStep(S, Ctx, V);
+    if (Out.Result == StepResult::Violated) {
+      Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
+      Cex.Steps = Path;
+      Cex.V = V;
+      Cex.Where = Counterexample::Phase::Parallel;
+      return false;
+    }
+    assert(Out.Result == StepResult::Ok && "chosen thread must step");
+    Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
+    if (!Enter())
+      return false;
+  }
+  return true;
+}
+
 CheckResult Checker::run() {
   // Phase 1: the deterministic prologue.
   State S0 = M.initialState();
@@ -280,7 +375,11 @@ CheckResult Checker::run() {
 
   // Phase 3: exhaustive search.
   Counterexample Cex;
-  bool Clean = Cfg.Order == SearchOrder::Bfs ? bfs(S0, Cex) : dfs(S0, Cex);
+  bool Clean = Cfg.Order == SearchOrder::Bfs ? bfs(S0, Cex)
+               : Cfg.UseUndoLog              ? dfsUndo(S0, Cex)
+                                             : dfs(S0, Cex);
+  Result.FingerprintCollisions = Visited.collisions();
+  Result.VisitedBytes = Visited.keyBytes();
   if (!Clean) {
     Result.Ok = false;
     Result.Cex = std::move(Cex);

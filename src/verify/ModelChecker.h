@@ -47,6 +47,12 @@
 ///    budget" verdict carries the same caveat the budget itself does.
 ///    StatesExplored / StatesDeduped / Steals / PerWorkerStates are
 ///    scheduling-dependent statistics, never part of the verdict.
+///  * VisitedMode::Fingerprint keeps both clauses, with one asterisk: if
+///    two distinct states genuinely collide in 64 bits (probability
+///    ~n^2/2^65, measurable via AuditFingerprints), which of the two the
+///    parallel table admits first is timing-dependent, so the contract
+///    holds "absent fingerprint collisions". Collisions can only hide
+///    states — never fabricate a counterexample (docs/PARALLEL.md §5).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -68,6 +74,18 @@ namespace verify {
 /// synthesizer (measured by bench_cex_ablation).
 enum class SearchOrder : uint8_t { Dfs, Bfs };
 
+/// What the visited table stores per state (docs/PARALLEL.md §5).
+///  * Exact: the full scheduler-relevant state key (Machine::encodeState)
+///    — today's semantics, byte-for-byte dedup.
+///  * Fingerprint: an 8-byte SplitMix-mixed hash of the same key (SPIN-
+///    lineage hash compaction). Orders of magnitude less memory per
+///    state; the trade is a ~n^2/2^65 chance that two distinct states
+///    collide, in which case one subtree is wrongly deduped — a missed
+///    state is possible, a spurious counterexample is not (every reported
+///    trace is a real execution). CheckerConfig::AuditFingerprints
+///    measures exactly this risk at runtime.
+enum class VisitedMode : uint8_t { Exact, Fingerprint };
+
 /// Tuning knobs for the checker.
 struct CheckerConfig {
   bool UseRandomFalsifier = true; ///< try random schedules before DFS
@@ -87,6 +105,25 @@ struct CheckerConfig {
   /// cancellation* is reported — faster on failing candidates, but the
   /// trace may vary across runs. Ignored when NumThreads == 1.
   bool DeterministicCex = true;
+  /// Visited-table representation: Exact (default, full keys) or
+  /// Fingerprint (8-byte hashes; see the VisitedMode doc).
+  VisitedMode Visited = VisitedMode::Exact;
+  /// Fingerprint mode only: on a fingerprint hit, compare the exact key
+  /// against a bounded side-table of the keys behind that fingerprint.
+  /// A mismatch is a genuine collision — it is counted in
+  /// CheckResult::FingerprintCollisions and the state is explored anyway
+  /// (the Exact fallback), so an audited run with zero collisions
+  /// provably explored the same states Exact mode would have.
+  bool AuditFingerprints = false;
+  /// Cap on audit side-table entries (full keys kept for auditing);
+  /// beyond it, new fingerprints go unaudited to bound memory.
+  uint64_t AuditBudget = 1u << 20;
+  /// Sequential DFS engine: apply/undo delta log (default) or the legacy
+  /// copy-per-successor loop. Identical results either way (the
+  /// equivalence is tested); the knob exists for benchmarking and as an
+  /// escape hatch. BFS and the parallel engine always copy — their
+  /// frontiers outlive the step that created them.
+  bool UseUndoLog = true;
 };
 
 /// \returns the worker count \p Cfg resolves to: NumThreads, with 0
@@ -106,6 +143,14 @@ struct CheckResult {
   /// Parallel runs: states explored per worker (the seeding pass counts
   /// toward worker 0). Empty for sequential runs.
   std::vector<uint64_t> PerWorkerStates;
+  /// Fingerprint collisions detected by the audit (0 unless
+  /// AuditFingerprints; always 0 in Exact mode).
+  uint64_t FingerprintCollisions = 0;
+  /// Bytes of visited-set keys owned at the end of the run (exact key
+  /// bytes, 8 per fingerprint, plus any audit side-table keys), summed
+  /// across search phases — the bench's bytes/state numerator. Excludes
+  /// hash-table bucket overhead, which is proportional for both modes.
+  uint64_t VisitedBytes = 0;
 };
 
 /// Model-checks one candidate (a Machine is a program plus a hole

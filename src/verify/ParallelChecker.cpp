@@ -32,6 +32,7 @@
 
 #include "verify/ModelChecker.h"
 #include "verify/SearchCore.h"
+#include "verify/Visited.h"
 
 #include <atomic>
 #include <cassert>
@@ -40,7 +41,6 @@
 #include <mutex>
 #include <optional>
 #include <thread>
-#include <unordered_set>
 
 using namespace psketch;
 using namespace psketch::verify;
@@ -57,28 +57,6 @@ namespace {
 struct Unit {
   State S;
   std::vector<TraceStep> Path;
-};
-
-/// Mutex-striped seen-state table. The stripe count only needs to beat
-/// the worker count comfortably; 64 keeps contention negligible without
-/// wasting cache.
-class ShardedVisited {
-public:
-  /// \returns true when \p Key was newly inserted.
-  bool insert(std::string Key) {
-    size_t Shard = Hasher(Key) & (NumShards - 1);
-    std::lock_guard<std::mutex> Lock(Shards[Shard].Mu);
-    return Shards[Shard].Set.insert(std::move(Key)).second;
-  }
-
-private:
-  static constexpr size_t NumShards = 64;
-  struct alignas(64) ShardT {
-    std::mutex Mu;
-    std::unordered_set<std::string> Set;
-  };
-  ShardT Shards[NumShards];
-  std::hash<std::string> Hasher;
 };
 
 /// A worker's deque of pending units. The owner pushes/pops at the back
@@ -115,7 +93,7 @@ struct SearchShared {
   const Machine &M;
   const CheckerConfig &Cfg;
 
-  ShardedVisited Visited;
+  detail::ShardedVisited Visited;
   std::atomic<uint64_t> StatesExplored{0};
   std::atomic<uint64_t> StatesDeduped{0};
   std::atomic<uint64_t> Pending{0}; ///< queued + in-flight units
@@ -126,7 +104,7 @@ struct SearchShared {
   std::optional<Counterexample> BestCex; ///< canonical-min among found
 
   explicit SearchShared(const Machine &M, const CheckerConfig &Cfg)
-      : M(M), Cfg(Cfg) {}
+      : M(M), Cfg(Cfg), Visited(Cfg) {}
 
   /// Records a violation (keeping the canonical-minimal trace) and
   /// cancels the search.
@@ -147,7 +125,7 @@ struct SearchShared {
       report(std::move(Cex));
       return;
     }
-    if (!Visited.insert(M.encodeState(U.S))) {
+    if (!Visited.insert(M, U.S)) {
       StatesDeduped.fetch_add(1);
       return;
     }
@@ -347,6 +325,8 @@ CheckResult psketch::verify::detail::checkCandidateParallel(
   Result.StatesExplored = Shared.StatesExplored.load();
   Result.StatesDeduped = Shared.StatesDeduped.load();
   Result.Exhausted = Shared.Exhausted.load();
+  Result.FingerprintCollisions = Shared.Visited.collisions();
+  Result.VisitedBytes = Shared.Visited.keyBytes();
 
   std::optional<Counterexample> Found = std::move(Shared.BestCex);
   if (!Found) {
@@ -363,6 +343,8 @@ CheckResult psketch::verify::detail::checkCandidateParallel(
     CheckResult Seq = detail::checkCandidateSequential(M, Cfg, false);
     Result.StatesExplored += Seq.StatesExplored;
     Result.StatesDeduped += Seq.StatesDeduped;
+    Result.FingerprintCollisions += Seq.FingerprintCollisions;
+    Result.VisitedBytes += Seq.VisitedBytes;
     if (!Seq.Ok && Seq.Cex) {
       Result.Cex = std::move(Seq.Cex);
       return Result;

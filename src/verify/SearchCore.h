@@ -103,11 +103,11 @@ inline bool classifyAll(const exec::Machine &M, exec::State &S,
       ReadyOut.push_back(Ctx);
       break;
     case Readiness::Blocked:
-      BlockedOut.push_back(TraceStep{Ctx, S.Pc[Ctx]});
+      BlockedOut.push_back(TraceStep{Ctx, S.pc(Ctx)});
       break;
     case Readiness::WaitViolation:
       Cex.Steps = Path;
-      Cex.Steps.push_back(TraceStep{Ctx, S.Pc[Ctx]});
+      Cex.Steps.push_back(TraceStep{Ctx, S.pc(Ctx)});
       Cex.V = V;
       Cex.Where = Counterexample::Phase::Parallel;
       return false;

@@ -1,0 +1,186 @@
+//===- verify/Visited.h - Exact and fingerprint visited tables --*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header: the seen-state tables behind CheckerConfig::Visited,
+/// shared by the sequential checker (one VisitedTable) and the parallel
+/// work-stealing engine (a 64-shard ShardedVisited). Both wrap the same
+/// VisitedCell so Exact and Fingerprint dedup — including the optional
+/// collision audit — behave identically in either engine.
+///
+/// Exact mode owns the full scheduler-relevant key (Machine::encodeState,
+/// 8 bytes per state word). Fingerprint mode stores only the 8-byte hash
+/// of that key; the audit (CheckerConfig::AuditFingerprints) additionally
+/// keeps a bounded side-table of full keys per fingerprint so a hash hit
+/// can be distinguished from a genuine revisit: a mismatch increments the
+/// collision counter and the state is explored anyway (Exact fallback).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_VERIFY_VISITED_H
+#define PSKETCH_VERIFY_VISITED_H
+
+#include "exec/Machine.h"
+#include "support/Hash.h"
+#include "verify/ModelChecker.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace psketch {
+namespace verify {
+namespace detail {
+
+/// Injectable fingerprint function over a state's scheduler-relevant
+/// words. Production code uses hashWords; the forced-collision unit test
+/// substitutes a degenerate hash.
+using StateHashFn = uint64_t (*)(const int64_t *Words, size_t NumWords);
+
+/// One dedup domain: the whole table sequentially, one shard in the
+/// parallel engine. Not synchronized — callers lock around it.
+class VisitedCell {
+public:
+  /// \returns true when the state was newly inserted (caller explores
+  /// it), false on a revisit. \p Fp is the state's fingerprint; \p KeyFn
+  /// lazily materializes the exact key (only called when this mode needs
+  /// the bytes, so Fingerprint mode without audit never allocates).
+  template <typename KeyFnT>
+  bool insert(VisitedMode Mode, bool Audit, uint64_t AuditBudget,
+              uint64_t Fp, KeyFnT &&KeyFn) {
+    if (Mode == VisitedMode::Exact) {
+      auto [It, New] = Exact.insert(KeyFn());
+      if (New)
+        KeyBytes += It->size();
+      return New;
+    }
+    if (!Fps.insert(Fp).second) {
+      if (!Audit)
+        return false; // unaudited hash hit: assume a revisit
+      auto It = AuditKeys.find(Fp);
+      if (It == AuditKeys.end())
+        return false; // over budget when first seen: cannot distinguish
+      std::string Key = KeyFn();
+      for (const std::string &Seen : It->second)
+        if (Seen == Key)
+          return false; // genuine revisit
+      // Same fingerprint, different bytes: a real collision. Record it
+      // and fall back to Exact behaviour — explore the state.
+      ++Collisions;
+      KeyBytes += Key.size();
+      It->second.push_back(std::move(Key));
+      return true;
+    }
+    KeyBytes += sizeof(uint64_t);
+    if (Audit && AuditEntries < AuditBudget) {
+      std::string Key = KeyFn();
+      KeyBytes += Key.size();
+      AuditKeys[Fp].push_back(std::move(Key));
+      ++AuditEntries;
+    }
+    return true;
+  }
+
+  uint64_t collisions() const { return Collisions; }
+  uint64_t keyBytes() const { return KeyBytes; }
+
+private:
+  std::unordered_set<std::string> Exact;
+  std::unordered_set<uint64_t> Fps;
+  std::unordered_map<uint64_t, std::vector<std::string>> AuditKeys;
+  uint64_t AuditEntries = 0;
+  uint64_t Collisions = 0;
+  uint64_t KeyBytes = 0;
+};
+
+/// The sequential engine's visited table.
+class VisitedTable {
+public:
+  explicit VisitedTable(const CheckerConfig &Cfg,
+                        StateHashFn Hash = &hashWords)
+      : Mode(Cfg.Visited), Audit(Cfg.AuditFingerprints),
+        AuditBudget(Cfg.AuditBudget), Hash(Hash) {}
+
+  /// \returns true when \p S was newly inserted.
+  bool insert(const exec::Machine &M, const exec::State &S) {
+    uint64_t Fp = Mode == VisitedMode::Fingerprint
+                      ? Hash(S.words(), M.schedWords())
+                      : 0;
+    return Cell.insert(Mode, Audit, AuditBudget, Fp,
+                       [&] { return M.encodeState(S); });
+  }
+
+  uint64_t collisions() const { return Cell.collisions(); }
+  uint64_t keyBytes() const { return Cell.keyBytes(); }
+
+private:
+  VisitedMode Mode;
+  bool Audit;
+  uint64_t AuditBudget;
+  StateHashFn Hash;
+  VisitedCell Cell;
+};
+
+/// Mutex-striped seen-state table for the parallel engine. The stripe
+/// count only needs to beat the worker count comfortably; 64 keeps
+/// contention negligible without wasting cache. The fingerprint doubles
+/// as the shard index (it is computed in both modes — in Exact mode it
+/// replaces the std::hash the shard selector used to need).
+class ShardedVisited {
+public:
+  explicit ShardedVisited(const CheckerConfig &Cfg,
+                          StateHashFn Hash = &hashWords)
+      : Mode(Cfg.Visited), Audit(Cfg.AuditFingerprints),
+        AuditBudget(Cfg.AuditBudget / NumShards + 1), Hash(Hash) {}
+
+  /// \returns true when \p S was newly inserted. Check-and-insert is
+  /// atomic per shard.
+  bool insert(const exec::Machine &M, const exec::State &S) {
+    uint64_t Fp = Hash(S.words(), M.schedWords());
+    ShardT &Shard = Shards[Fp & (NumShards - 1)];
+    std::lock_guard<std::mutex> Lock(Shard.Mu);
+    return Shard.Cell.insert(Mode, Audit, AuditBudget, Fp,
+                             [&] { return M.encodeState(S); });
+  }
+
+  uint64_t collisions() const {
+    uint64_t Total = 0;
+    for (const ShardT &Shard : Shards) {
+      std::lock_guard<std::mutex> Lock(Shard.Mu);
+      Total += Shard.Cell.collisions();
+    }
+    return Total;
+  }
+  uint64_t keyBytes() const {
+    uint64_t Total = 0;
+    for (const ShardT &Shard : Shards) {
+      std::lock_guard<std::mutex> Lock(Shard.Mu);
+      Total += Shard.Cell.keyBytes();
+    }
+    return Total;
+  }
+
+private:
+  static constexpr size_t NumShards = 64;
+  struct alignas(64) ShardT {
+    mutable std::mutex Mu;
+    VisitedCell Cell;
+  };
+  VisitedMode Mode;
+  bool Audit;
+  uint64_t AuditBudget;
+  StateHashFn Hash;
+  ShardT Shards[NumShards];
+};
+
+} // namespace detail
+} // namespace verify
+} // namespace psketch
+
+#endif // PSKETCH_VERIFY_VISITED_H

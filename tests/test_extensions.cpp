@@ -37,8 +37,8 @@ TEST(Cas, SucceedsWhenExpectedValueMatches) {
   exec::State S = M.initialState();
   exec::Violation V;
   ASSERT_TRUE(M.runToCompletion(S, 0, V));
-  EXPECT_EQ(S.Globals[M.globalOffset(X)], 9);
-  EXPECT_EQ(S.Locals[0][Flag], 1);
+  EXPECT_EQ(S.global(M.globalOffset(X)), 9);
+  EXPECT_EQ(S.local(0, Flag), 1);
 }
 
 TEST(Cas, FailsWhenValueChanged) {
@@ -54,8 +54,8 @@ TEST(Cas, FailsWhenValueChanged) {
   exec::State S = M.initialState();
   exec::Violation V;
   ASSERT_TRUE(M.runToCompletion(S, 0, V));
-  EXPECT_EQ(S.Globals[M.globalOffset(X)], 7) << "store must not happen";
-  EXPECT_EQ(S.Locals[0][Flag], 0);
+  EXPECT_EQ(S.global(M.globalOffset(X)), 7) << "store must not happen";
+  EXPECT_EQ(S.local(0, Flag), 0);
 }
 
 TEST(Cas, IsAtomicUnderContention) {

@@ -18,10 +18,11 @@ using namespace psketch::flat;
 
 namespace {
 
-/// Runs a single-thread flat program to completion and returns the final
-/// state (aborts the test on violation).
-exec::State runSingle(const FlatProgram &FP, const HoleAssignment &H) {
-  exec::Machine M(FP, H);
+/// Runs a single-thread flat program to completion on the caller's
+/// machine and returns the final state (aborts the test on violation).
+/// The machine must outlive the returned state: a State reads through
+/// its Machine's layout.
+exec::State runSingle(const exec::Machine &M) {
   exec::State S = M.initialState();
   exec::Violation V;
   EXPECT_TRUE(M.runToCompletion(S, M.prologueCtx(), V)) << V.Label;
@@ -90,9 +91,9 @@ TEST(Flatten, BranchConditionEvaluatedOnce) {
                   P.assign(P.locGlobal(Y), P.constInt(1))));
   FlatProgram FP = flatten(P);
   exec::Machine M(FP, {});
-  exec::State S = runSingle(FP, {});
-  EXPECT_EQ(S.Globals[M.globalOffset(X)], 1);
-  EXPECT_EQ(S.Globals[M.globalOffset(Y)], 0);
+  exec::State S = runSingle(M);
+  EXPECT_EQ(S.global(M.globalOffset(X)), 1);
+  EXPECT_EQ(S.global(M.globalOffset(Y)), 0);
 }
 
 TEST(Flatten, AtomicIfConditionCapturedOnce) {
@@ -108,9 +109,9 @@ TEST(Flatten, AtomicIfConditionCapturedOnce) {
   FlatProgram FP = flatten(P);
   ASSERT_EQ(FP.Threads[0].Steps.size(), 1u); // one atomic step
   exec::Machine M(FP, {});
-  exec::State S = runSingle(FP, {});
-  EXPECT_EQ(S.Globals[M.globalOffset(X)], 1);
-  EXPECT_EQ(S.Globals[M.globalOffset(Y)], 0);
+  exec::State S = runSingle(M);
+  EXPECT_EQ(S.global(M.globalOffset(X)), 1);
+  EXPECT_EQ(S.global(M.globalOffset(Y)), 0);
 }
 
 TEST(Flatten, WhileUnrollsAndBoundAsserts) {
@@ -126,8 +127,8 @@ TEST(Flatten, WhileUnrollsAndBoundAsserts) {
   // 5 x (eval + body) + bound assert
   EXPECT_EQ(FP.Threads[0].Steps.size(), 11u);
   exec::Machine M(FP, {});
-  exec::State S = runSingle(FP, {});
-  EXPECT_EQ(S.Globals[M.globalOffset(X)], 3);
+  exec::State S = runSingle(M);
+  EXPECT_EQ(S.global(M.globalOffset(X)), 3);
 }
 
 TEST(Flatten, WhileBoundViolationDetected) {
@@ -159,9 +160,9 @@ TEST(Flatten, SwapCapturesValueBeforeOverwrite) {
                    P.add(P.local(LTmp, Type::Int), P.constInt(1))));
   FlatProgram FP = flatten(P);
   exec::Machine M(FP, {});
-  exec::State S = runSingle(FP, {});
-  EXPECT_EQ(S.Locals[0][LTmp], 10); // old x
-  EXPECT_EQ(S.Globals[M.globalOffset(X)], 6); // old tmp + 1
+  exec::State S = runSingle(M);
+  EXPECT_EQ(S.local(0, LTmp), 10); // old x
+  EXPECT_EQ(S.global(M.globalOffset(X)), 6); // old tmp + 1
 }
 
 TEST(Flatten, SwapCapturesAddressBeforeOverwrite) {
@@ -182,9 +183,9 @@ TEST(Flatten, SwapCapturesAddressBeforeOverwrite) {
                     P.local(LB, Type::Ptr))}));
   FlatProgram FP = flatten(P);
   exec::Machine M(FP, {});
-  exec::State S = runSingle(FP, {});
-  EXPECT_EQ(S.Locals[0][LA], 0);               // old a.next was null
-  EXPECT_EQ(S.Heap[0 * P.fields().size() + FNext], 2); // node1.next = b
+  exec::State S = runSingle(M);
+  EXPECT_EQ(S.local(0, LA), 0);               // old a.next was null
+  EXPECT_EQ(S.heap(0 * P.fields().size() + FNext), 2); // node1.next = b
 }
 
 TEST(Flatten, CondAtomicBecomesWaitStep) {
@@ -242,9 +243,9 @@ TEST(Flatten, ChoiceAssignIsOneAtomicStep) {
   EXPECT_EQ(FP.Threads[0].Steps[0].Ops.size(), 2u);
   // Selecting target 1 writes y, not x.
   exec::Machine M(FP, {1});
-  exec::State S = runSingle(FP, {1});
-  EXPECT_EQ(S.Globals[M.globalOffset(X)], 0);
-  EXPECT_EQ(S.Globals[M.globalOffset(Y)], 9);
+  exec::State S = runSingle(M);
+  EXPECT_EQ(S.global(M.globalOffset(X)), 0);
+  EXPECT_EQ(S.global(M.globalOffset(Y)), 9);
 }
 
 namespace {
@@ -273,7 +274,7 @@ std::vector<int64_t> executedOrder(ReorderEncoding Enc,
   EXPECT_TRUE(M.runToCompletion(S, 0, V)) << V.Label;
   std::vector<int64_t> Result;
   for (int I = 0; I < 3; ++I)
-    Result.push_back(S.Globals[M.globalOffset(Order) + I]);
+    Result.push_back(S.global(M.globalOffset(Order) + I));
   return Result;
 }
 

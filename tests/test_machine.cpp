@@ -37,7 +37,7 @@ TEST(Machine, WrappedArithmetic) {
   State S = Ma.initialState();
   Violation V;
   ASSERT_TRUE(Ma.runToCompletion(S, 0, V));
-  EXPECT_EQ(S.Globals[Ma.globalOffset(X)], M.P.wrap(130, Type::Int));
+  EXPECT_EQ(S.global(Ma.globalOffset(X)), M.P.wrap(130, Type::Int));
 }
 
 TEST(Machine, NullDerefIsMemUnsafe) {
@@ -97,10 +97,10 @@ TEST(Machine, AllocReturnsFreshZeroedNodes) {
   State S = Ma.initialState();
   Violation V;
   ASSERT_TRUE(Ma.runToCompletion(S, 0, V));
-  EXPECT_EQ(S.Locals[0][LA], 1);
-  EXPECT_EQ(S.Locals[0][LB], 2);
-  EXPECT_EQ(S.Heap[0 * M.P.fields().size() + FNext], 0);
-  EXPECT_EQ(S.AllocCount, 2);
+  EXPECT_EQ(S.local(0, LA), 1);
+  EXPECT_EQ(S.local(0, LB), 2);
+  EXPECT_EQ(S.heap(0 * M.P.fields().size() + FNext), 0);
+  EXPECT_EQ(S.allocCount(), 2);
 }
 
 TEST(Machine, ShortCircuitAvoidsUnsafeRhs) {
@@ -119,7 +119,7 @@ TEST(Machine, ShortCircuitAvoidsUnsafeRhs) {
   State S = Ma.initialState();
   Violation V;
   ASSERT_TRUE(Ma.runToCompletion(S, 0, V)) << V.Label;
-  EXPECT_EQ(S.Globals[Ma.globalOffset(X)], 0);
+  EXPECT_EQ(S.global(Ma.globalOffset(X)), 0);
 }
 
 TEST(Machine, IteOnlyEvaluatesChosenBranch) {
@@ -155,7 +155,7 @@ TEST(Machine, CondAtomicBlocksUntilTrue) {
   EXPECT_EQ(M.execStep(S, T0, V).Result, StepResult::Blocked);
   EXPECT_EQ(M.execStep(S, T1, V).Result, StepResult::Ok);
   EXPECT_EQ(M.execStep(S, T0, V).Result, StepResult::Ok);
-  EXPECT_EQ(S.Globals[M.globalOffset(X)], 2);
+  EXPECT_EQ(S.global(M.globalOffset(X)), 2);
   EXPECT_TRUE(M.isFinished(S, T0));
 }
 
@@ -170,7 +170,7 @@ TEST(Machine, DynamicNoOpStepAdvances) {
   State S = Ma.initialState();
   Violation V;
   ASSERT_TRUE(Ma.runToCompletion(S, 0, V));
-  EXPECT_EQ(S.Globals[Ma.globalOffset(X)], 5); // branch not taken
+  EXPECT_EQ(S.global(Ma.globalOffset(X)), 5); // branch not taken
 }
 
 TEST(Machine, StaticallyDeadStepsAreSkipped) {
@@ -192,7 +192,7 @@ TEST(Machine, StaticallyDeadStepsAreSkipped) {
     EXPECT_FALSE(Ma.isFinished(S, 0));
     Violation V;
     ASSERT_TRUE(Ma.runToCompletion(S, 0, V));
-    EXPECT_EQ(S.Globals[Ma.globalOffset(X)], 7);
+    EXPECT_EQ(S.global(Ma.globalOffset(X)), 7);
   }
 }
 
@@ -210,6 +210,33 @@ TEST(Machine, EncodeStateDistinguishesStates) {
   EXPECT_NE(Ma.encodeState(S0), Ma.encodeState(S1));
   State S0b = Ma.initialState();
   EXPECT_EQ(Ma.encodeState(S0), Ma.encodeState(S0b));
+}
+
+// Regression: the old encoder packed each value into 16 bits, so states
+// differing only above bit 15 produced identical keys and the visited
+// set merged genuinely distinct states.
+TEST(Machine, EncodeStateKeepsHighBits) {
+  Program P{32, 3}; // 32-bit ints: values >= 2^16 are representable
+  unsigned T = P.addThread("t");
+  unsigned X = P.addGlobal("x", Type::Int, 0);
+  P.setRoot(BodyId::thread(T),
+            P.assign(P.locGlobal(X),
+                     P.add(P.global(X), P.constInt(1 << 16))));
+  flat::FlatProgram FP = flat::flatten(P);
+  Machine Ma(FP, {});
+  State S0 = Ma.initialState();
+  State S1 = S0;
+  Violation V;
+  ASSERT_TRUE(Ma.runToCompletion(S1, T, V));
+  ASSERT_EQ(S1.global(Ma.globalOffset(X)), int64_t{1} << 16);
+  // x differs only in bit 16 (and the pc differs); the high bits must
+  // survive into the key. Also check two states equal below bit 16 but
+  // different above it — the exact aliasing the Put16 encoder had.
+  EXPECT_NE(Ma.encodeState(S0), Ma.encodeState(S1));
+  State S2 = S1;
+  S2.setGlobal(Ma.globalOffset(X), (int64_t{1} << 16) + (int64_t{1} << 17));
+  EXPECT_NE(Ma.encodeState(S1), Ma.encodeState(S2));
+  EXPECT_NE(Ma.fingerprintState(S1), Ma.fingerprintState(S2));
 }
 
 TEST(Machine, AssertFailureReported) {
