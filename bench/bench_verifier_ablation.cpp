@@ -21,19 +21,31 @@ using namespace psketch::bench;
 
 namespace {
 
-void run(const SuiteEntry &E, bool Falsifier, bool POR) {
+const char *porName(verify::PorMode Por) {
+  switch (Por) {
+  case verify::PorMode::Off:
+    return "off";
+  case verify::PorMode::Local:
+    return "local";
+  case verify::PorMode::Ample:
+    return "ample";
+  }
+  return "?";
+}
+
+void run(const SuiteEntry &E, bool Falsifier, verify::PorMode Por) {
   auto P = E.Build();
   cegis::CegisConfig Cfg;
   Cfg.MaxIterations = 500;
   Cfg.TimeLimitSeconds = 300;
   Cfg.Checker.UseRandomFalsifier = Falsifier;
-  Cfg.Checker.UsePOR = POR;
+  Cfg.Checker.Por = Por;
   cegis::ConcurrentCegis C(*P, Cfg);
   auto R = C.run();
-  std::printf("%-9s %-14s | falsifier=%-3s POR=%-3s | res=%-3s itns=%3u "
+  std::printf("%-9s %-14s | falsifier=%-3s POR=%-5s | res=%-3s itns=%3u "
               "Vsolve=%7.3fs states=%9llu total=%7.2fs\n",
               E.Sketch.c_str(), E.Test.c_str(), Falsifier ? "on" : "off",
-              POR ? "on" : "off", R.Stats.Resolvable ? "yes" : "NO",
+              porName(Por), R.Stats.Resolvable ? "yes" : "NO",
               R.Stats.Iterations, R.Stats.VsolveSeconds,
               static_cast<unsigned long long>(R.Stats.StatesExplored),
               R.Stats.TotalSeconds);
@@ -50,10 +62,11 @@ int main() {
   for (const char *Family : {"queueE2", "fineset1", "dinphilo"}) {
     auto Entries = paperSuite(Family);
     const SuiteEntry &E = Entries.front();
-    run(E, true, true);
-    run(E, true, false);
-    run(E, false, true);
-    run(E, false, false);
+    for (verify::PorMode Por :
+         {verify::PorMode::Ample, verify::PorMode::Local, verify::PorMode::Off}) {
+      run(E, true, Por);
+      run(E, false, Por);
+    }
   }
   return 0;
 }

@@ -4,7 +4,8 @@
 // Structures" (PLDI 2008).
 //
 // Usage: psketch_tool [--lint] [--no-prescreen] [--jobs N] [--seed S]
-//                     [--visited exact|fingerprint] [file.psk ...]
+//                     [--visited exact|fingerprint] [--por off|local|ample]
+//                     [file.psk ...]
 //
 // Default mode parses one mini-PSketch source file, runs concurrent CEGIS
 // (with the static pre-screen analyzer unless --no-prescreen), and prints
@@ -16,8 +17,10 @@
 // random-schedule falsifier (see the reproducibility contract in
 // verify/ModelChecker.h); --visited picks the checker's seen-state
 // representation (exact keys, the default, or 8-byte fingerprints — see
-// docs/PARALLEL.md §5 for the soundness trade). Bad values are typed
-// diagnostics with a nonzero exit, like every other usage error.
+// docs/PARALLEL.md §5 for the soundness trade); --por picks the checker's
+// partial-order reduction (off, local, or the default ample — see
+// docs/POR.md; verdicts are identical in all three modes). Bad values are
+// typed diagnostics with a nonzero exit, like every other usage error.
 //
 // --lint runs the frontend validator and all three analysis passes over
 // every given file, prints the diagnostics, and skips synthesis. Exit
@@ -171,6 +174,28 @@ bool parseUnsigned(const char *Flag, const char *Text, uint64_t Max,
   return true;
 }
 
+/// Parses the --por mode argument. \returns false after printing a typed
+/// diagnostic when the value is missing or not a known mode.
+bool parsePor(const char *Text, verify::PorMode &Out) {
+  if (Text && std::strcmp(Text, "off") == 0) {
+    Out = verify::PorMode::Off;
+    return true;
+  }
+  if (Text && std::strcmp(Text, "local") == 0) {
+    Out = verify::PorMode::Local;
+    return true;
+  }
+  if (Text && std::strcmp(Text, "ample") == 0) {
+    Out = verify::PorMode::Ample;
+    return true;
+  }
+  printDiag({analysis::Severity::Error, "cli",
+             std::string("--por: bad value '") + (Text ? Text : "") +
+                 "' (expected 'off', 'local' or 'ample')",
+             ""});
+  return false;
+}
+
 /// Parses the --visited mode argument. \returns false after printing a
 /// typed diagnostic when the value is missing or not a known mode.
 bool parseVisited(const char *Text, verify::VisitedMode &Out) {
@@ -195,6 +220,7 @@ int main(int Argc, char **Argv) {
   bool Lint = false, Prescreen = true;
   uint64_t Jobs = 1, Seed = 1;
   verify::VisitedMode Visited = verify::VisitedMode::Exact;
+  verify::PorMode Por = verify::PorMode::Ample;
   std::vector<const char *> Files;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--lint") == 0)
@@ -215,11 +241,18 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(Argv[I], "--visited=", 10) == 0) {
       if (!parseVisited(Argv[I] + 10, Visited))
         return 1;
+    } else if (std::strcmp(Argv[I], "--por") == 0) {
+      if (!parsePor(I + 1 < Argc ? Argv[++I] : nullptr, Por))
+        return 1;
+    } else if (std::strncmp(Argv[I], "--por=", 6) == 0) {
+      if (!parsePor(Argv[I] + 6, Por))
+        return 1;
     } else if (std::strncmp(Argv[I], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: psketch_tool [--lint] [--no-prescreen] "
                    "[--jobs N] [--seed S] "
-                   "[--visited exact|fingerprint] [file.psk ...]\n");
+                   "[--visited exact|fingerprint] "
+                   "[--por off|local|ample] [file.psk ...]\n");
       return 1;
     } else
       Files.push_back(Argv[I]);
@@ -262,6 +295,10 @@ int main(int Argc, char **Argv) {
   if (Visited == verify::VisitedMode::Fingerprint)
     std::printf("checker: fingerprint visited set (64-bit hash "
                 "compaction; sound up to hash collisions)\n");
+  Cfg.Checker.Por = Por;
+  if (Por != verify::PorMode::Ample)
+    std::printf("checker: partial-order reduction %s (default: ample)\n",
+                Por == verify::PorMode::Off ? "off" : "local-only");
   Cfg.Log = [](const std::string &Message) {
     std::printf("  %s\n", Message.c_str());
   };

@@ -61,6 +61,9 @@ void accumulateCheckerStats(CegisStats &Stats,
     Stats.CheckerWorkers = Check.WorkersUsed;
   Stats.CheckerSteals += Check.Steals;
   Stats.FingerprintCollisions += Check.FingerprintCollisions;
+  Stats.AmpleStates += Check.AmpleStates;
+  Stats.FullExpansions += Check.FullExpansions;
+  Stats.SleepSkips += Check.SleepSkips;
   if (Stats.PerWorkerStates.size() < Check.PerWorkerStates.size())
     Stats.PerWorkerStates.resize(Check.PerWorkerStates.size(), 0);
   for (size_t I = 0; I < Check.PerWorkerStates.size(); ++I)

@@ -92,6 +92,11 @@ struct CegisStats {
   /// Audited fingerprint collisions across all verifier calls (always 0
   /// in Exact mode or with the audit off; see CheckerConfig::Visited).
   uint64_t FingerprintCollisions = 0;
+  /// POR observability summed across all verifier calls (nonzero only
+  /// under CheckerConfig::Por == PorMode::Ample; see CheckResult).
+  uint64_t AmpleStates = 0;
+  uint64_t FullExpansions = 0;
+  uint64_t SleepSkips = 0;
 };
 
 /// A finished run.

@@ -1,0 +1,89 @@
+//===- exec/Footprint.h - Static read/write sets per flat step --*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static footprint of a flat::Step: which shared cells it may read
+/// and which it may write, as bitsets over a small universe the Machine
+/// lays out per candidate (see Machine::stepFootprint). Two steps commute
+/// — may be reordered without changing any reachable state — when neither
+/// writes a cell the other touches; that independence relation is what
+/// the ample-set partial-order reduction in src/verify is built on
+/// (docs/POR.md).
+///
+/// The universe deliberately excludes thread-private storage (a context's
+/// pc and locals): a step always writes its own pc and often its own
+/// locals, but no other context can observe either, so they can never
+/// create a dependence. Heap cells are conflated per field id (all pool
+/// nodes' `next` fields are one bit) because pointers are dynamic;
+/// global array elements are pinned to one slot only when the index is a
+/// compile-time constant under the candidate. Both are sound
+/// over-approximations: a footprint may claim more than a step touches,
+/// never less — tests/test_por.cpp checks the write half against the
+/// undo log of real executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_EXEC_FOOTPRINT_H
+#define PSKETCH_EXEC_FOOTPRINT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace psketch {
+namespace exec {
+
+/// A pair of bitsets (read set, write set) over a Machine-defined
+/// universe of shared-cell indices. Plain value type; the Machine
+/// precomputes one per (context, pc) plus suffix unions at construction.
+class Footprint {
+public:
+  Footprint() = default;
+  explicit Footprint(unsigned Bits) : Read((Bits + 63) / 64, 0),
+                                      Write((Bits + 63) / 64, 0) {}
+
+  void addRead(unsigned Bit) { Read[Bit / 64] |= 1ull << (Bit % 64); }
+  void addWrite(unsigned Bit) { Write[Bit / 64] |= 1ull << (Bit % 64); }
+
+  bool reads(unsigned Bit) const {
+    return (Read[Bit / 64] >> (Bit % 64)) & 1;
+  }
+  bool writes(unsigned Bit) const {
+    return (Write[Bit / 64] >> (Bit % 64)) & 1;
+  }
+
+  /// Unions \p O into this footprint (suffix accumulation).
+  void unionWith(const Footprint &O) {
+    for (size_t I = 0; I < Read.size(); ++I) {
+      Read[I] |= O.Read[I];
+      Write[I] |= O.Write[I];
+    }
+  }
+
+  /// True when the two steps do NOT commute: one writes a cell the other
+  /// reads or writes. Read-read overlap is not a conflict.
+  bool conflictsWith(const Footprint &O) const {
+    for (size_t I = 0; I < Read.size(); ++I)
+      if ((Write[I] & (O.Read[I] | O.Write[I])) | (Read[I] & O.Write[I]))
+        return true;
+    return false;
+  }
+
+  bool empty() const {
+    for (size_t I = 0; I < Read.size(); ++I)
+      if (Read[I] | Write[I])
+        return false;
+    return true;
+  }
+
+private:
+  std::vector<uint64_t> Read, Write;
+};
+
+} // namespace exec
+} // namespace psketch
+
+#endif // PSKETCH_EXEC_FOOTPRINT_H

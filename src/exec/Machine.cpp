@@ -66,6 +66,139 @@ Machine::Machine(const flat::FlatProgram &FP, const HoleAssignment &Holes)
         DeadStep[Ctx][I] = 1;
     }
   }
+
+  // Static footprints under this candidate (exec/Footprint.h): the
+  // universe is one bit per flattened global slot, one per heap field
+  // class, and one for the allocation counter. Like DeadStep these are
+  // per-candidate — holes select Choice alternatives and pin array
+  // indices. Each table carries a trailing empty entry so queries at the
+  // end-of-body pc (finished context) are total.
+  FpBits = NumGlobalSlots + static_cast<unsigned>(P.fields().size()) + 1;
+  StepFp.resize(numContexts());
+  SuffixFp.resize(numContexts());
+  for (unsigned Ctx = 0; Ctx < numContexts(); ++Ctx) {
+    const FlatBody &B = bodyOf(Ctx);
+    StepFp[Ctx].assign(B.Steps.size() + 1, Footprint(FpBits));
+    SuffixFp[Ctx].assign(B.Steps.size() + 1, Footprint(FpBits));
+    for (size_t I = 0; I < B.Steps.size(); ++I)
+      StepFp[Ctx][I] = computeStepFootprint(Ctx, I);
+    for (size_t I = B.Steps.size(); I-- > 0;) {
+      SuffixFp[Ctx][I] = SuffixFp[Ctx][I + 1];
+      SuffixFp[Ctx][I].unionWith(StepFp[Ctx][I]);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Static footprints.
+//===----------------------------------------------------------------------===//
+
+void Machine::collectExprFootprint(ExprRef E, Footprint &F) const {
+  switch (E->Kind) {
+  case ExprKind::ConstInt:
+  case ExprKind::LocalRead:
+  case ExprKind::HoleRead:
+    return; // constants and thread-private reads: outside the universe
+  case ExprKind::GlobalRead:
+    F.addRead(GlobalOffsets[E->Id]);
+    return;
+  case ExprKind::GlobalArrayRead: {
+    collectExprFootprint(E->Ops[0], F);
+    const Global &G = P.globals()[E->Id];
+    auto Index = tryEvalStatic(P, E->Ops[0], Holes);
+    if (Index && *Index >= 0 && *Index < static_cast<int64_t>(G.ArraySize))
+      F.addRead(GlobalOffsets[E->Id] + static_cast<unsigned>(*Index));
+    else // dynamic index: any element
+      for (unsigned I = 0; I < G.ArraySize; ++I)
+        F.addRead(GlobalOffsets[E->Id] + I);
+    return;
+  }
+  case ExprKind::FieldRead:
+    collectExprFootprint(E->Ops[0], F);
+    F.addRead(NumGlobalSlots + E->Id); // any pool cell's field E->Id
+    return;
+  case ExprKind::Choice:
+    // Resolved the way eval resolves it. Footprints are built eagerly for
+    // every step, so an out-of-range selector (a Machine constructed with
+    // a partial assignment for schedule replay) falls through to the
+    // conservative union of every alternative instead of asserting.
+    if (E->Id < Holes.size() && Holes[E->Id] < E->Ops.size()) {
+      collectExprFootprint(E->Ops[Holes[E->Id]], F);
+      return;
+    }
+    break;
+  default:
+    // And/Or/Ite include short-circuited operands: a sound
+    // over-approximation of what eval may read.
+    break;
+  }
+  for (ExprRef Op : E->Ops)
+    collectExprFootprint(Op, F);
+}
+
+void Machine::collectLocFootprint(const Loc &L, bool IsWrite,
+                                  Footprint &F) const {
+  auto Add = [&](unsigned Bit) {
+    if (IsWrite)
+      F.addWrite(Bit);
+    else
+      F.addRead(Bit);
+  };
+  switch (L.LocKind) {
+  case Loc::Kind::Global:
+    Add(GlobalOffsets[L.Id]);
+    return;
+  case Loc::Kind::Local:
+    return; // thread-private: outside the universe
+  case Loc::Kind::GlobalArray: {
+    collectExprFootprint(L.Index, F); // the index expression is read
+    const Global &G = P.globals()[L.Id];
+    auto Index = tryEvalStatic(P, L.Index, Holes);
+    if (Index && *Index >= 0 && *Index < static_cast<int64_t>(G.ArraySize))
+      Add(GlobalOffsets[L.Id] + static_cast<unsigned>(*Index));
+    else
+      for (unsigned I = 0; I < G.ArraySize; ++I)
+        Add(GlobalOffsets[L.Id] + I);
+    return;
+  }
+  case Loc::Kind::Field:
+    collectExprFootprint(L.Index, F); // the pointer expression is read
+    Add(NumGlobalSlots + L.Id);
+    return;
+  }
+}
+
+Footprint Machine::computeStepFootprint(unsigned Ctx, size_t Pc) const {
+  Footprint F(FpBits);
+  if (DeadStep[Ctx][Pc])
+    return F; // never executes under this candidate
+  const Step &St = bodyOf(Ctx).Steps[Pc];
+  if (St.DynGuard)
+    collectExprFootprint(St.DynGuard, F);
+  if (St.WaitCond)
+    collectExprFootprint(St.WaitCond, F);
+  for (const MicroOp &Op : St.Ops) {
+    if (Op.Pred)
+      collectExprFootprint(Op.Pred, F);
+    switch (Op.OpKind) {
+    case MicroOp::Kind::Write:
+      collectExprFootprint(Op.Value, F);
+      collectLocFootprint(Op.Target, /*IsWrite=*/true, F);
+      break;
+    case MicroOp::Kind::Assert:
+      collectExprFootprint(Op.Value, F);
+      break;
+    case MicroOp::Kind::Alloc: {
+      unsigned AllocBit = NumGlobalSlots + static_cast<unsigned>(
+                                               P.fields().size());
+      F.addRead(AllocBit);
+      F.addWrite(AllocBit);
+      collectLocFootprint(Op.Target, /*IsWrite=*/true, F);
+      break;
+    }
+    }
+  }
+  return F;
 }
 
 const FlatBody &Machine::bodyOf(unsigned Ctx) const {

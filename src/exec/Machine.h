@@ -21,6 +21,7 @@
 #define PSKETCH_EXEC_MACHINE_H
 
 #include "desugar/Flat.h"
+#include "exec/Footprint.h"
 #include "exec/StateVec.h"
 #include "ir/HoleAssignment.h"
 
@@ -133,6 +134,55 @@ public:
   /// \returns total flattened global slots.
   unsigned globalSlots() const { return NumGlobalSlots; }
 
+  //===--------------------------------------------------------------------===//
+  // Static footprints (exec/Footprint.h; the basis of the ample-set POR).
+  //===--------------------------------------------------------------------===//
+
+  /// Bits in the footprint universe: one per flattened global slot, one
+  /// per heap field class (all pool cells of a field conflated), plus one
+  /// for the allocation counter. Thread-private pc/locals are excluded.
+  unsigned footprintBits() const { return FpBits; }
+
+  /// The static read/write footprint of step \p Pc of context \p Ctx, a
+  /// sound over-approximation under this candidate (recomputed per
+  /// candidate, like DeadStep: holes select Choice alternatives and pin
+  /// array indices). Dead steps and \p Pc past the body are empty.
+  const Footprint &stepFootprint(unsigned Ctx, uint32_t Pc) const {
+    uint32_t N = static_cast<uint32_t>(StepFp[Ctx].size() - 1);
+    return StepFp[Ctx][Pc < N ? Pc : N];
+  }
+
+  /// Union of the step footprints of \p Ctx from \p Pc to the end of its
+  /// body: everything the context may still touch.
+  const Footprint &suffixFootprint(unsigned Ctx, uint32_t Pc) const {
+    uint32_t N = static_cast<uint32_t>(SuffixFp[Ctx].size() - 1);
+    return SuffixFp[Ctx][Pc < N ? Pc : N];
+  }
+
+  /// True when the two steps commute: neither's write set intersects the
+  /// other's read or write set, so executing them in either order from
+  /// any state yields the same state.
+  bool commutes(unsigned CtxA, uint32_t PcA, unsigned CtxB,
+                uint32_t PcB) const {
+    return !stepFootprint(CtxA, PcA).conflictsWith(stepFootprint(CtxB, PcB));
+  }
+
+  /// True when {Ctx's next step} is a valid singleton ample set at \p S
+  /// so far as independence is concerned (C1): the step conflicts with no
+  /// other thread's *remaining* steps, so no interleaving can enable a
+  /// dependent action before it. The caller layers the cycle proviso (C2)
+  /// on top. PCs of \p S must be normalized (classifyAll has run).
+  bool singletonIndependent(State &S, unsigned Ctx) const {
+    const Footprint &Fp = stepFootprint(Ctx, normalizePc(S, Ctx));
+    for (unsigned U = 0; U < numThreads(); ++U) {
+      if (U == Ctx)
+        continue;
+      if (Fp.conflictsWith(suffixFootprint(U, S.pc(U))))
+        return false;
+    }
+    return true;
+  }
+
 private:
   const flat::FlatProgram &FP;
   const ir::Program &P;
@@ -142,6 +192,18 @@ private:
   unsigned NumGlobalSlots = 0;
   StateLayout Layout;
   std::vector<std::vector<char>> DeadStep; ///< per context, per pc
+
+  /// Footprint universe size and the per-context tables. StepFp[Ctx] has
+  /// one entry per step plus a trailing empty one (finished contexts);
+  /// SuffixFp[Ctx][Pc] is the union of StepFp[Ctx][Pc..end].
+  unsigned FpBits = 0;
+  std::vector<std::vector<Footprint>> StepFp;
+  std::vector<std::vector<Footprint>> SuffixFp;
+
+  void collectExprFootprint(ir::ExprRef E, Footprint &F) const;
+  void collectLocFootprint(const ir::Loc &L, bool IsWrite,
+                           Footprint &F) const;
+  Footprint computeStepFootprint(unsigned Ctx, size_t Pc) const;
 
   const ir::Body &irBodyOf(unsigned Ctx) const;
   int64_t loadLoc(const State &S, unsigned Ctx, const ir::Loc &L,

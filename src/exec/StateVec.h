@@ -63,17 +63,23 @@ class UndoLog {
 public:
   using Mark = size_t;
 
+  struct Entry {
+    uint32_t Word;
+    int64_t Old;
+  };
+
   Mark mark() const { return Entries.size(); }
   void record(uint32_t Word, int64_t Old) { Entries.push_back({Word, Old}); }
   void clear() { Entries.clear(); }
   size_t size() const { return Entries.size(); }
 
+  /// The recorded (word, previous value) pairs, oldest first. Read by the
+  /// footprint-soundness property test: every word a step actually
+  /// changed must fall inside its declared static footprint.
+  const std::vector<Entry> &entries() const { return Entries; }
+
 private:
   friend class State;
-  struct Entry {
-    uint32_t Word;
-    int64_t Old;
-  };
   std::vector<Entry> Entries;
 };
 

@@ -13,6 +13,7 @@
 
 #include <cassert>
 #include <thread>
+#include <unordered_map>
 
 using namespace psketch;
 using namespace psketch::verify;
@@ -84,6 +85,8 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
   };
   std::vector<Node> Nodes;
 
+  const bool Ample = Cfg.Por == PorMode::Ample;
+
   auto ReconstructTo = [&](int Index, std::vector<TraceStep> &Out) {
     std::vector<int> Chain;
     for (int I = Index; I >= 0; I = Nodes[I].Parent)
@@ -101,7 +104,7 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
     std::vector<TraceStep> Chain = std::move(Prefix);
     Counterexample Local;
     std::vector<TraceStep> Scratch;
-    if (!detail::advanceLocal(M, Cfg.UsePOR, S, Scratch, Local)) {
+    if (!detail::advanceLocal(M, Cfg.Por, S, Scratch, Local)) {
       // Violation inside the local chain.
       ReconstructTo(Parent, Cex.Steps);
       Cex.Steps.insert(Cex.Steps.end(), Chain.begin(), Chain.end());
@@ -157,6 +160,51 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
         return false;
       continue;
     }
+    // Ample reduction with the BFS cycle proviso (C2): expand the
+    // singleton alone only when its locally-advanced successor has NOT
+    // been visited — on any cycle of the reduced graph the last state
+    // expanded finds its successor in the table and expands fully, so no
+    // thread is deferred forever around the cycle (docs/POR.md).
+    if (Ample && Ready.size() >= 2) {
+      int AI = detail::selectAmple(M, S, Ready);
+      if (AI >= 0) {
+        unsigned Ctx = Ready[AI];
+        State Next = S;
+        Violation V;
+        ExecOutcome Out = M.execStep(Next, Ctx, V);
+        if (Out.Result == StepResult::Violated) {
+          ReconstructTo(static_cast<int>(Head), Cex.Steps);
+          Cex.Steps.push_back(TraceStep{Ctx, Out.ExecutedPc});
+          Cex.V = V;
+          Cex.Where = Counterexample::Phase::Parallel;
+          return false;
+        }
+        assert(Out.Result == StepResult::Ok && "ready thread must step");
+        std::vector<TraceStep> Prefix{TraceStep{Ctx, Out.ExecutedPc}};
+        Counterexample Local;
+        if (!detail::advanceLocal(M, Cfg.Por, Next, Prefix, Local)) {
+          ReconstructTo(static_cast<int>(Head), Cex.Steps);
+          Cex.Steps.insert(Cex.Steps.end(), Local.Steps.begin(),
+                           Local.Steps.end());
+          Cex.V = Local.V;
+          Cex.Where = Local.Where;
+          Cex.DeadlockSet = Local.DeadlockSet;
+          return false;
+        }
+        if (!Visited.contains(M, Next)) {
+          ++Result.AmpleStates;
+          // Next is already in normal form, so Enter's own local chain
+          // is a no-op and Prefix carries the full step sequence.
+          if (!Enter(std::move(Next), static_cast<int>(Head),
+                     std::move(Prefix)))
+            return false;
+          continue;
+        }
+        ++Result.FullExpansions; // proviso hit: fall through, expand all
+      } else {
+        ++Result.FullExpansions;
+      }
+    }
     for (unsigned Ctx : Ready) {
       State Next = S;
       Violation V;
@@ -177,29 +225,132 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
   return true;
 }
 
+// The DFS engines share their ample/sleep decision logic through this
+// helper so dfs (copy) and dfsUndo (in-place) behave identically — the
+// equivalence test of test_state_engine.cpp covers the reduced modes too.
+namespace {
+
+/// Per-frame POR bookkeeping common to both DFS engines.
+struct PorFrame {
+  uint64_t Sleep = 0;    ///< sleep mask the state was entered with
+  uint64_t Branched = 0; ///< choices already expanded from this frame
+  bool Reduced = false;  ///< singleton ample frame (C2 may upgrade it)
+  std::vector<unsigned> Ready; ///< full ready set (kept for the upgrade)
+  uint64_t Fp = 0;             ///< on-stack key for the cycle proviso
+};
+
+/// Decides what a freshly-entered state explores: a singleton ample set
+/// when one qualifies, the full ready set otherwise, minus slept
+/// contexts; or, for a Wake revisit, exactly the woken contexts. Fills
+/// \p F (Sleep/Reduced/Ready) and returns the choice list; bumps the POR
+/// counters on \p R.
+std::vector<unsigned> planChoices(const Machine &M, State &S, bool Ample,
+                                  std::vector<unsigned> Ready,
+                                  uint64_t Sleep, bool IsWake, uint64_t Wake,
+                                  PorFrame &F, CheckResult &R) {
+  std::vector<unsigned> Choices;
+  F.Sleep = Sleep;
+  if (IsWake) {
+    // Re-expansion of a partially-covered state: only the transitions a
+    // prior visit slept through, as a plain (non-ample) frame.
+    for (unsigned C : Ready)
+      if (Wake & (1ull << C))
+        Choices.push_back(C);
+    F.Ready = std::move(Ready);
+    return Choices;
+  }
+  int AmpleIdx = Ample ? detail::selectAmple(M, S, Ready) : -1;
+  if (AmpleIdx >= 0) {
+    F.Reduced = true;
+    ++R.AmpleStates;
+    Choices.push_back(Ready[AmpleIdx]);
+  } else {
+    Choices = Ready;
+    if (Ample && Ready.size() >= 2)
+      ++R.FullExpansions;
+  }
+  if (Sleep) {
+    std::vector<unsigned> Kept;
+    for (unsigned C : Choices) {
+      if (Sleep & (1ull << C))
+        ++R.SleepSkips;
+      else
+        Kept.push_back(C);
+    }
+    Choices = std::move(Kept);
+  }
+  F.Ready = std::move(Ready);
+  return Choices;
+}
+
+/// The C2 cycle-proviso upgrade: the reduced frame's successor closed a
+/// DFS-stack cycle, so the deferred contexts could be ignored forever
+/// around it — append the rest of the (unslept) ready set after the
+/// already-running singleton. (The thread-phase state graph is acyclic —
+/// every Ok step advances some pc and normalization only increases them
+/// — so this never fires in practice; it is kept because the reduction's
+/// soundness must not depend on that structural accident.)
+void upgradeToFull(PorFrame &F, std::vector<unsigned> &Choices,
+                   CheckResult &R) {
+  F.Reduced = false;
+  --R.AmpleStates;
+  ++R.FullExpansions;
+  for (unsigned C : F.Ready) {
+    if (C == Choices[0])
+      continue;
+    if (F.Sleep & (1ull << C))
+      ++R.SleepSkips;
+    else
+      Choices.push_back(C);
+  }
+}
+
+} // namespace
+
 bool Checker::dfs(const State &Start, Counterexample &Cex) {
   struct Frame {
     State S;
     std::vector<unsigned> Choices;
     size_t NextChoice = 0;
     size_t PathLen = 0;
+    PorFrame Por;
   };
+
+  const bool Ample =
+      Cfg.Por == PorMode::Ample && M.numThreads() <= detail::MaxSleepThreads;
 
   std::vector<Frame> Stack;
   std::vector<TraceStep> Path;
+  std::unordered_map<uint64_t, unsigned> OnStack; ///< fp -> frames (Ample)
 
   // Pushes a state after running its local chain; handles terminal states.
   // Returns false if a counterexample was found.
-  auto PushState = [&](State S) -> bool {
-    if (!detail::advanceLocal(M, Cfg.UsePOR, S, Path, Cex))
+  auto PushState = [&](State S, uint64_t Sleep) -> bool {
+    if (!detail::advanceLocal(M, Cfg.Por, S, Path, Cex))
       return false;
-    if (!Visited.insert(M, S)) {
+    uint64_t Fp = 0;
+    if (Ample) {
+      Fp = M.fingerprintState(S);
+      if (!Stack.empty() && Stack.back().Por.Reduced && OnStack.count(Fp))
+        upgradeToFull(Stack.back().Por, Stack.back().Choices, Result);
+    }
+    uint64_t Wake = 0;
+    detail::InsertOutcome Ins =
+        Ample ? Visited.insertMask(M, S, Sleep, Wake)
+              : (Visited.insert(M, S) ? detail::InsertOutcome::Fresh
+                                      : detail::InsertOutcome::Prune);
+    if (Ins == detail::InsertOutcome::Prune) {
       ++Result.StatesDeduped;
       return true; // already explored; not a counterexample
     }
-    ++Result.StatesExplored;
-    if (Result.StatesExplored >= Cfg.MaxStates)
-      Result.Exhausted = true;
+    bool IsWake = Ins == detail::InsertOutcome::Wake;
+    if (IsWake) {
+      ++Result.StatesDeduped; // partially-covered revisit
+    } else {
+      ++Result.StatesExplored;
+      if (Result.StatesExplored >= Cfg.MaxStates)
+        Result.Exhausted = true;
+    }
 
     std::vector<unsigned> Ready;
     std::vector<TraceStep> Blocked;
@@ -217,19 +368,30 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
       return detail::checkEpilogue(M, S, Path, Cex); // leaf: phase done
     }
     Frame F;
+    F.Por.Fp = Fp;
+    F.Choices = planChoices(M, S, Ample, std::move(Ready), Sleep, IsWake,
+                            Wake, F.Por, Result);
+    if (F.Choices.empty())
+      return true; // every transition here is covered elsewhere (sleep)
     F.S = std::move(S);
-    F.Choices = std::move(Ready);
     F.PathLen = Path.size();
+    if (Ample)
+      ++OnStack[F.Por.Fp];
     Stack.push_back(std::move(F));
     return true;
   };
 
-  if (!PushState(Start))
+  if (!PushState(Start, 0))
     return false;
 
   while (!Stack.empty()) {
     Frame &Top = Stack.back();
     if (Top.NextChoice >= Top.Choices.size() || Result.Exhausted) {
+      if (Ample) {
+        auto It = OnStack.find(Top.Por.Fp);
+        if (--It->second == 0)
+          OnStack.erase(It);
+      }
       Stack.pop_back();
       if (!Stack.empty())
         Path.resize(Stack.back().PathLen);
@@ -237,6 +399,12 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
     }
     Path.resize(Top.PathLen);
     unsigned Ctx = Top.Choices[Top.NextChoice++];
+    uint64_t ChildSleep = 0;
+    if (Ample) {
+      ChildSleep = detail::sleepAfter(M, Top.S, Ctx, Top.S.pc(Ctx),
+                                      Top.Por.Sleep | Top.Por.Branched);
+      Top.Por.Branched |= 1ull << Ctx;
+    }
     State Next = Top.S;
     Violation V;
     ExecOutcome Out = M.execStep(Next, Ctx, V);
@@ -249,7 +417,7 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
     }
     assert(Out.Result == StepResult::Ok && "chosen thread must step");
     Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
-    if (!PushState(std::move(Next)))
+    if (!PushState(std::move(Next), ChildSleep))
       return false;
   }
   return true;
@@ -263,10 +431,15 @@ bool Checker::dfsUndo(const State &Start, Counterexample &Cex) {
     size_t NextChoice = 0;
     size_t PathLen = 0;
     exec::UndoLog::Mark Mark = 0;
+    PorFrame Por;
   };
+
+  const bool Ample =
+      Cfg.Por == PorMode::Ample && M.numThreads() <= detail::MaxSleepThreads;
 
   std::vector<Frame> Stack;
   std::vector<TraceStep> Path;
+  std::unordered_map<uint64_t, unsigned> OnStack; ///< fp -> frames (Ample)
   exec::UndoLog Log;
   State S = Start;
   S.attachLog(&Log);
@@ -276,16 +449,32 @@ bool Checker::dfsUndo(const State &Start, Counterexample &Cex) {
   // frame's mark is taken AFTER the local chain and pc normalization, so
   // reverting to it lands exactly on the entered (deduped) state.
   // Returns false if a counterexample was found.
-  auto Enter = [&]() -> bool {
-    if (!detail::advanceLocal(M, Cfg.UsePOR, S, Path, Cex))
+  auto Enter = [&](uint64_t Sleep) -> bool {
+    if (!detail::advanceLocal(M, Cfg.Por, S, Path, Cex))
       return false;
-    if (!Visited.insert(M, S)) {
+    uint64_t Fp = 0;
+    if (Ample) {
+      Fp = M.fingerprintState(S);
+      if (!Stack.empty() && Stack.back().Por.Reduced && OnStack.count(Fp))
+        upgradeToFull(Stack.back().Por, Stack.back().Choices, Result);
+    }
+    uint64_t Wake = 0;
+    detail::InsertOutcome Ins =
+        Ample ? Visited.insertMask(M, S, Sleep, Wake)
+              : (Visited.insert(M, S) ? detail::InsertOutcome::Fresh
+                                      : detail::InsertOutcome::Prune);
+    if (Ins == detail::InsertOutcome::Prune) {
       ++Result.StatesDeduped;
       return true; // already explored; not a counterexample
     }
-    ++Result.StatesExplored;
-    if (Result.StatesExplored >= Cfg.MaxStates)
-      Result.Exhausted = true;
+    bool IsWake = Ins == detail::InsertOutcome::Wake;
+    if (IsWake) {
+      ++Result.StatesDeduped; // partially-covered revisit
+    } else {
+      ++Result.StatesExplored;
+      if (Result.StatesExplored >= Cfg.MaxStates)
+        Result.Exhausted = true;
+    }
 
     std::vector<unsigned> Ready;
     std::vector<TraceStep> Blocked;
@@ -304,20 +493,31 @@ bool Checker::dfsUndo(const State &Start, Counterexample &Cex) {
       return detail::checkEpilogue(M, S, Path, Cex);
     }
     Frame F;
-    F.Choices = std::move(Ready);
+    F.Por.Fp = Fp;
+    F.Choices = planChoices(M, S, Ample, std::move(Ready), Sleep, IsWake,
+                            Wake, F.Por, Result);
+    if (F.Choices.empty())
+      return true; // every transition here is covered elsewhere (sleep)
     F.PathLen = Path.size();
     F.Mark = Log.mark();
+    if (Ample)
+      ++OnStack[F.Por.Fp];
     Stack.push_back(std::move(F));
     return true;
   };
 
-  if (!Enter())
+  if (!Enter(0))
     return false;
 
   while (!Stack.empty()) {
     Frame &Top = Stack.back();
     if (Top.NextChoice >= Top.Choices.size() || Result.Exhausted) {
       S.revertTo(Top.Mark);
+      if (Ample) {
+        auto It = OnStack.find(Top.Por.Fp);
+        if (--It->second == 0)
+          OnStack.erase(It);
+      }
       Stack.pop_back();
       if (!Stack.empty())
         Path.resize(Stack.back().PathLen);
@@ -326,6 +526,12 @@ bool Checker::dfsUndo(const State &Start, Counterexample &Cex) {
     S.revertTo(Top.Mark); // undo the previous choice's subtree
     Path.resize(Top.PathLen);
     unsigned Ctx = Top.Choices[Top.NextChoice++];
+    uint64_t ChildSleep = 0;
+    if (Ample) {
+      ChildSleep = detail::sleepAfter(M, S, Ctx, S.pc(Ctx),
+                                      Top.Por.Sleep | Top.Por.Branched);
+      Top.Por.Branched |= 1ull << Ctx;
+    }
     Violation V;
     ExecOutcome Out = M.execStep(S, Ctx, V);
     if (Out.Result == StepResult::Violated) {
@@ -337,7 +543,7 @@ bool Checker::dfsUndo(const State &Start, Counterexample &Cex) {
     }
     assert(Out.Result == StepResult::Ok && "chosen thread must step");
     Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
-    if (!Enter())
+    if (!Enter(ChildSleep))
       return false;
   }
   return true;
@@ -365,7 +571,7 @@ CheckResult Checker::run() {
     for (unsigned I = 0; I < Cfg.RandomRuns; ++I) {
       ++Result.RandomRunsUsed;
       Counterexample Cex;
-      if (!detail::randomRun(M, Cfg.UsePOR, S0, R, Cex)) {
+      if (!detail::randomRun(M, Cfg.Por, S0, R, Cex)) {
         Result.Ok = false;
         Result.Cex = std::move(Cex);
         return Result;
@@ -383,6 +589,27 @@ CheckResult Checker::run() {
   if (!Clean) {
     Result.Ok = false;
     Result.Cex = std::move(Cex);
+    // An ample-mode trace is an artifact of the reduced graph; re-derive
+    // the canonical Local-mode trace so Ample reports the same
+    // counterexample Local would (reproducibility contract, docs/POR.md).
+    // The falsifier phase needs no re-run: single schedules are identical
+    // under Local and Ample, and it ran before this search anyway.
+    if (Cfg.Por == PorMode::Ample && Cfg.DeterministicCex) {
+      CheckerConfig Canon = Cfg;
+      Canon.Por = PorMode::Local;
+      CheckResult Seq = detail::checkCandidateSequential(M, Canon, false);
+      Result.StatesExplored += Seq.StatesExplored;
+      Result.StatesDeduped += Seq.StatesDeduped;
+      Result.FingerprintCollisions += Seq.FingerprintCollisions;
+      Result.VisitedBytes += Seq.VisitedBytes;
+      if (!Seq.Ok && Seq.Cex)
+        Result.Cex = std::move(Seq.Cex);
+      else
+        // The Local search hit its budget before reaching any violation:
+        // keep the ample trace (still a real execution) and surface the
+        // budget caveat.
+        Result.Exhausted = Result.Exhausted || Seq.Exhausted;
+    }
     return Result;
   }
   Result.Ok = true;

@@ -17,9 +17,13 @@
 /// Two standard engineering devices (both ablatable, see DESIGN.md):
 ///  * a random-schedule falsifier runs first, because most bad candidates
 ///    die on one of a handful of cheap random schedules;
-///  * a partial-order reduction executes steps that touch only
-///    thread-local state (or whose guard is dynamically false) without a
-///    scheduling choice — they commute with every other thread.
+///  * a partial-order reduction (CheckerConfig::Por, docs/POR.md) prunes
+///    interleavings that only reorder commuting steps: PorMode::Local
+///    runs thread-local steps without a scheduling choice, PorMode::Ample
+///    (the default) additionally expands a single thread alone wherever
+///    its next step's static footprint (exec/Footprint.h) is independent
+///    of everything the other threads may still do, with sleep sets
+///    layered on in the sequential DFS.
 ///
 /// The checker is optionally multi-threaded (CheckerConfig::NumThreads):
 /// per-worker DFS over disjoint frontier subtrees with work-stealing, a
@@ -28,25 +32,35 @@
 ///
 /// Reproducibility contract
 /// ------------------------
-///  * NumThreads == 1 is bit-exact legacy behaviour: the single-threaded
-///    search of the original checker, with ONE falsifier stream seeded
-///    directly from CheckerConfig::Seed. Verdict, counterexample, and
-///    state counts depend only on the candidate and the config.
+///  * NumThreads == 1 is deterministic single-threaded search with ONE
+///    falsifier stream seeded directly from CheckerConfig::Seed. Verdict,
+///    counterexample, and state counts depend only on the candidate and
+///    the config. Por == Local reproduces the pre-ample engine bit for
+///    bit; under Por == Ample an exhaustive-phase violation is (with
+///    DeterministicCex, the default) re-derived by a Local-mode search,
+///    so the reported counterexample is the same canonical trace Local
+///    mode reports — only the state counts differ.
 ///  * NumThreads >= 2 (or 0 = hardware concurrency): verdict and
-///    counterexample depend only on (Seed, RandomRuns, Order, UsePOR,
+///    counterexample depend only on (Seed, RandomRuns, Order, Por,
 ///    DeterministicCex) — NOT on the worker count or on OS scheduling.
 ///    Falsifier run r always draws from an independent SplitMix64 stream
 ///    derived from (Seed, r), so which worker executes which run is
 ///    irrelevant; the reported counterexample is the one with the
 ///    smallest failing run index. A violation found by the exhaustive
 ///    phase is (under DeterministicCex, the default) re-derived by a
-///    deterministic sequential search, yielding the canonical minimal
-///    trace — the same trace for 2 and for 64 workers.
+///    deterministic sequential search — in Local mode when Por is Ample,
+///    since ample-mode traces are artifacts of the reduced graph —
+///    yielding the canonical minimal trace: the same trace for 1, 2, and
+///    64 workers.
 ///    Exception: runs that hit MaxStates (Result.Exhausted) explored a
 ///    timing-dependent subset of the space, so their "Ok up to the
 ///    budget" verdict carries the same caveat the budget itself does.
 ///    StatesExplored / StatesDeduped / Steals / PerWorkerStates are
-///    scheduling-dependent statistics, never part of the verdict.
+///    scheduling-dependent statistics, never part of the verdict; under
+///    Por == Ample with NumThreads >= 2 even StatesExplored at a fixed
+///    worker count can vary across runs (the cycle-proviso probe races
+///    against insertion), which is why the POR agreement gates compare
+///    verdicts, never state counts.
 ///  * VisitedMode::Fingerprint keeps both clauses, with one asterisk: if
 ///    two distinct states genuinely collide in 64 bits (probability
 ///    ~n^2/2^65, measurable via AuditFingerprints), which of the two the
@@ -86,24 +100,46 @@ enum class SearchOrder : uint8_t { Dfs, Bfs };
 ///    measures exactly this risk at runtime.
 enum class VisitedMode : uint8_t { Exact, Fingerprint };
 
+/// Partial-order reduction mode (docs/POR.md). Verdicts agree across all
+/// three modes by construction; state counts and (without
+/// DeterministicCex) traces differ.
+///  * Off: every ready context branches at every state — the unreduced
+///    interleaving graph.
+///  * Local: steps that touch only thread-local state (or whose dynamic
+///    guard is false) run without a scheduling choice
+///    (Machine::nextStepIsLocal). This is the pre-ample behaviour.
+///  * Ample (default): Local, plus SPIN-class ample sets — a state whose
+///    some ready context's next step is statically independent of every
+///    other thread's remaining steps (Machine::singletonIndependent)
+///    expands that context alone, guarded by a per-engine cycle proviso;
+///    the sequential DFS additionally prunes commuting re-expansions via
+///    sleep sets.
+/// Migration note: this enum replaces the old `bool UsePOR` — `false`
+/// maps to Off, `true` to Local.
+enum class PorMode : uint8_t { Off, Local, Ample };
+
 /// Tuning knobs for the checker.
 struct CheckerConfig {
   bool UseRandomFalsifier = true; ///< try random schedules before DFS
   unsigned RandomRuns = 64;       ///< how many random schedules
-  bool UsePOR = true;             ///< run local steps without branching
+  PorMode Por = PorMode::Ample;   ///< partial-order reduction (see enum)
   SearchOrder Order = SearchOrder::Dfs;
   uint64_t MaxStates = 4000000;   ///< exploration safety net
   uint64_t Seed = 1;              ///< random falsifier seed
   /// Checker workers: 1 = exact legacy single-threaded behaviour,
   /// 0 = hardware concurrency, N = that many workers.
   unsigned NumThreads = 1;
-  /// When true (default) a violation found by the parallel exhaustive
-  /// phase is re-derived by a deterministic sequential search so the
-  /// reported counterexample is the canonical minimal trace regardless
-  /// of worker timing (see the reproducibility contract above). When
-  /// false the canonical-minimal trace *among those found before
-  /// cancellation* is reported — faster on failing candidates, but the
-  /// trace may vary across runs. Ignored when NumThreads == 1.
+  /// When true (default) a violation found by the exhaustive phase is
+  /// re-derived by a deterministic sequential search so the reported
+  /// counterexample is the canonical minimal trace regardless of worker
+  /// timing — and, under Por == Ample, regardless of the reduction: the
+  /// re-derivation runs in Local mode, so Ample reports the same trace
+  /// Local would (see the reproducibility contract above and docs/POR.md).
+  /// When false the first trace the search found is reported — faster on
+  /// failing candidates, but parallel traces may vary across runs and
+  /// ample traces are artifacts of the reduced graph. With NumThreads ==
+  /// 1 this only matters for Por == Ample (Off/Local sequential searches
+  /// are already canonical).
   bool DeterministicCex = true;
   /// Visited-table representation: Exact (default, full keys) or
   /// Fingerprint (8-byte hashes; see the VisitedMode doc).
@@ -151,6 +187,13 @@ struct CheckResult {
   /// across search phases — the bench's bytes/state numerator. Excludes
   /// hash-table bucket overhead, which is proportional for both modes.
   uint64_t VisitedBytes = 0;
+  /// POR observability (PorMode::Ample; all zero otherwise). States with
+  /// two or more ready contexts expanded through a singleton ample set /
+  /// expanded in full (no independent candidate, or the cycle proviso
+  /// fired) / transitions skipped by the sequential engine's sleep sets.
+  uint64_t AmpleStates = 0;
+  uint64_t FullExpansions = 0;
+  uint64_t SleepSkips = 0;
 };
 
 /// Model-checks one candidate (a Machine is a program plus a hole

@@ -99,6 +99,8 @@ struct SearchShared {
   std::atomic<uint64_t> Pending{0}; ///< queued + in-flight units
   std::atomic<bool> Stop{false};
   std::atomic<bool> Exhausted{false};
+  std::atomic<uint64_t> AmpleCount{0}; ///< CheckResult::AmpleStates
+  std::atomic<uint64_t> FullCount{0};  ///< CheckResult::FullExpansions
 
   std::mutex CexMu;
   std::optional<Counterexample> BestCex; ///< canonical-min among found
@@ -121,7 +123,7 @@ struct SearchShared {
   void processUnit(Unit U, uint64_t &WorkerStates,
                    const std::function<void(Unit)> &Push) {
     Counterexample Cex;
-    if (!detail::advanceLocal(M, Cfg.UsePOR, U.S, U.Path, Cex)) {
+    if (!detail::advanceLocal(M, Cfg.Por, U.S, U.Path, Cex)) {
       report(std::move(Cex));
       return;
     }
@@ -154,6 +156,49 @@ struct SearchShared {
       if (!detail::checkEpilogue(M, U.S, U.Path, Cex))
         report(std::move(Cex));
       return;
+    }
+    // Ample reduction: expand a singleton-independent context alone,
+    // unless the resulting child is already in the visited table — the
+    // frontier-membership cycle proviso (C2). Insertion happens-before
+    // expansion (shard mutex), so on any cycle closed entirely through
+    // reduced states the last state to probe sees its successor inserted
+    // and expands in full (docs/POR.md). A fingerprint-collision false
+    // "yes" only forces the same sound full expansion.
+    if (Cfg.Por == PorMode::Ample && Ready.size() >= 2) {
+      int AI = detail::selectAmple(M, U.S, Ready);
+      if (AI >= 0) {
+        unsigned Ctx = Ready[AI];
+        Unit Child;
+        Child.S = U.S;
+        Violation V;
+        ExecOutcome Out = M.execStep(Child.S, Ctx, V);
+        if (Out.Result == StepResult::Violated) {
+          Cex.Steps = U.Path;
+          Cex.Steps.push_back(TraceStep{Ctx, Out.ExecutedPc});
+          Cex.V = V;
+          Cex.Where = Counterexample::Phase::Parallel;
+          report(std::move(Cex));
+          return;
+        }
+        assert(Out.Result == StepResult::Ok && "ready thread must step");
+        Child.Path = U.Path;
+        Child.Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
+        // Advance the local chain before probing: the table stores
+        // post-chain states (the child unit's own advanceLocal is then an
+        // idempotent no-op).
+        if (!detail::advanceLocal(M, Cfg.Por, Child.S, Child.Path, Cex)) {
+          report(std::move(Cex));
+          return;
+        }
+        if (!Visited.contains(M, Child.S)) {
+          AmpleCount.fetch_add(1);
+          Push(std::move(Child));
+          return;
+        }
+        FullCount.fetch_add(1); // proviso hit: expand every ready context
+      } else {
+        FullCount.fetch_add(1);
+      }
     }
     // Expand in reverse so a LIFO owner explores the first ready thread
     // first, like the sequential DFS.
@@ -228,7 +273,7 @@ bool parallelFalsify(const Machine &M, const CheckerConfig &Cfg,
         return;
       Rng Stream(detail::deriveStreamSeed(Cfg.Seed, R));
       Counterexample Cex;
-      if (!detail::randomRun(M, Cfg.UsePOR, S0, Stream, Cex)) {
+      if (!detail::randomRun(M, Cfg.Por, S0, Stream, Cex)) {
         std::lock_guard<std::mutex> Lock(BestMu);
         if (R < MinFail.load()) {
           MinFail.store(R);
@@ -324,6 +369,8 @@ CheckResult psketch::verify::detail::checkCandidateParallel(
 
   Result.StatesExplored = Shared.StatesExplored.load();
   Result.StatesDeduped = Shared.StatesDeduped.load();
+  Result.AmpleStates = Shared.AmpleCount.load();
+  Result.FullExpansions = Shared.FullCount.load();
   Result.Exhausted = Shared.Exhausted.load();
   Result.FingerprintCollisions = Shared.Visited.collisions();
   Result.VisitedBytes = Shared.Visited.keyBytes();
@@ -340,7 +387,14 @@ CheckResult psketch::verify::detail::checkCandidateParallel(
     // engine (falsifier off: phase 2 already cleared, and its stream
     // policy differs). A violation exists, so the sequential search
     // finds its canonical first one — the same for any worker count.
-    CheckResult Seq = detail::checkCandidateSequential(M, Cfg, false);
+    // Ample is demoted to Local for the rerun: ample traces are
+    // artifacts of the reduced graph, and the Local rerun is exactly
+    // what the sequential ample engine itself re-derives with, so the
+    // canonical trace is also independent of the reduction (docs/POR.md).
+    CheckerConfig Canon = Cfg;
+    if (Canon.Por == PorMode::Ample)
+      Canon.Por = PorMode::Local;
+    CheckResult Seq = detail::checkCandidateSequential(M, Canon, false);
     Result.StatesExplored += Seq.StatesExplored;
     Result.StatesDeduped += Seq.StatesDeduped;
     Result.FingerprintCollisions += Seq.FingerprintCollisions;

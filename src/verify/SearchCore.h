@@ -55,11 +55,12 @@ inline Readiness readiness(const exec::Machine &M, exec::State &S,
   return Readiness::Ready;
 }
 
-/// Runs every pending thread-local step (POR). \returns false and fills
-/// \p Cex on a violation inside a local step.
-inline bool advanceLocal(const exec::Machine &M, bool UsePOR, exec::State &S,
+/// Runs every pending thread-local step (the Local layer of the POR;
+/// no-op under PorMode::Off). \returns false and fills \p Cex on a
+/// violation inside a local step.
+inline bool advanceLocal(const exec::Machine &M, PorMode Por, exec::State &S,
                          std::vector<TraceStep> &Path, Counterexample &Cex) {
-  if (!UsePOR)
+  if (Por == PorMode::Off)
     return true;
   bool Progress = true;
   while (Progress) {
@@ -132,15 +133,17 @@ inline bool checkEpilogue(const exec::Machine &M, const exec::State &S,
 }
 
 /// One random schedule from \p Start. \returns true if it completed
-/// cleanly; otherwise fills \p Cex.
-inline bool randomRun(const exec::Machine &M, bool UsePOR,
+/// cleanly; otherwise fills \p Cex. The ample reduction never applies
+/// here (a single schedule explores no alternatives), so Local and Ample
+/// falsifier runs are identical.
+inline bool randomRun(const exec::Machine &M, PorMode Por,
                       const exec::State &Start, Rng &R, Counterexample &Cex) {
   exec::State S = Start;
   std::vector<TraceStep> Path;
   std::vector<unsigned> Ready;
   std::vector<TraceStep> Blocked;
   for (;;) {
-    if (!advanceLocal(M, UsePOR, S, Path, Cex))
+    if (!advanceLocal(M, Por, S, Path, Cex))
       return false;
     if (!classifyAll(M, S, Ready, Blocked, Path, Cex))
       return false;
@@ -168,6 +171,56 @@ inline bool randomRun(const exec::Machine &M, bool UsePOR,
     assert(Out.Result == exec::StepResult::Ok && "ready thread must step");
     Path.push_back(TraceStep{Ctx, Out.ExecutedPc});
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Ample-set selection and sleep sets (PorMode::Ample; docs/POR.md).
+// Shared by all engines so the copy DFS, the undo-log DFS, the BFS, and
+// the parallel checker make the same reduction decisions at the same
+// states.
+//===----------------------------------------------------------------------===//
+
+/// Picks a singleton ample set at a state with \p Ready contexts (pcs
+/// normalized): the first ready context whose next step is independent
+/// of every other thread's remaining steps. Such a singleton satisfies
+/// C0 (nonempty subset of the enabled set) and C1 (no dependent action
+/// can fire before it — the persistent-set argument, docs/POR.md); the
+/// caller enforces the C2 cycle proviso. A pure function of the state,
+/// so every engine reduces identically. \returns the index into \p
+/// Ready, or -1 when no singleton qualifies or fewer than two contexts
+/// are ready (full expansion — reducing a single-choice state would
+/// change nothing and only complicate the proviso bookkeeping).
+inline int selectAmple(const exec::Machine &M, exec::State &S,
+                       const std::vector<unsigned> &Ready) {
+  if (Ready.size() < 2)
+    return -1;
+  for (size_t I = 0; I < Ready.size(); ++I)
+    if (M.singletonIndependent(S, Ready[I]))
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// Sleep sets are per-thread bit masks; the sequential engines disable
+/// them beyond 64 threads (far past anything the suite models).
+constexpr unsigned MaxSleepThreads = 64;
+
+/// Builds the sleep mask a child inherits after executing \p Ctx's step
+/// at \p Pc: of the contexts slept or already branched at the parent
+/// (\p Prior), those whose pending step commutes with the executed one
+/// stay asleep — their step still leads into an already-covered
+/// subtree; a dependent step is woken. \p S is the parent state (pcs
+/// normalized; \p Ctx's own pc having advanced is harmless — it is
+/// excluded anyway, its pending transition changed).
+inline uint64_t sleepAfter(const exec::Machine &M, const exec::State &S,
+                           unsigned Ctx, uint32_t Pc, uint64_t Prior) {
+  uint64_t Out = 0;
+  for (unsigned U = 0; U < M.numThreads() && U < MaxSleepThreads; ++U) {
+    if (U == Ctx || !(Prior & (1ull << U)))
+      continue;
+    if (M.commutes(Ctx, Pc, U, S.pc(U)))
+      Out |= 1ull << U;
+  }
+  return Out;
 }
 
 /// Derives an independent SplitMix64 stream seed for falsifier run (or

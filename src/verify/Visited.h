@@ -19,6 +19,15 @@
 /// can be distinguished from a genuine revisit: a mismatch increments the
 /// collision counter and the state is explored anyway (Exact fallback).
 ///
+/// Every entry also carries the sleep-set mask the state was (last)
+/// entered with, for the sequential ample engine (docs/POR.md): plain
+/// dedup is the mask-0 special case, so the pre-POR engines are
+/// unchanged. A revisit with sleep set T of a state stored with mask B
+/// is covered only when B is a subset of T (the prior visit explored
+/// every transition this one would); otherwise the revisit must explore
+/// the woken transitions B \ T and the stored mask shrinks to the
+/// intersection — strictly, so re-expansion terminates.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSKETCH_VERIFY_VISITED_H
@@ -31,7 +40,6 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace psketch {
@@ -43,56 +51,110 @@ namespace detail {
 /// substitutes a degenerate hash.
 using StateHashFn = uint64_t (*)(const int64_t *Words, size_t NumWords);
 
+/// What a sleep-mask-aware insert decided (see the file comment).
+enum class InsertOutcome : uint8_t {
+  Fresh, ///< newly inserted: explore the state
+  Prune, ///< revisit, prior visit covers this one: skip
+  Wake,  ///< revisit, but some previously-slept transitions must now run
+};
+
 /// One dedup domain: the whole table sequentially, one shard in the
 /// parallel engine. Not synchronized — callers lock around it.
 class VisitedCell {
 public:
-  /// \returns true when the state was newly inserted (caller explores
-  /// it), false on a revisit. \p Fp is the state's fingerprint; \p KeyFn
-  /// lazily materializes the exact key (only called when this mode needs
-  /// the bytes, so Fingerprint mode without audit never allocates).
+  /// Mask-aware check-and-insert. \p Sleep is the sleep mask the state is
+  /// being entered with (0 when sleep sets are off); on Wake, \p WakeOut
+  /// receives the transitions a prior visit slept through that this one
+  /// must explore. \p Fp is the state's fingerprint; \p KeyFn lazily
+  /// materializes the exact key (only called when this mode needs the
+  /// bytes, so Fingerprint mode without audit never allocates).
+  template <typename KeyFnT>
+  InsertOutcome insertMask(VisitedMode Mode, bool Audit, uint64_t AuditBudget,
+                           uint64_t Fp, uint64_t Sleep, uint64_t &WakeOut,
+                           KeyFnT &&KeyFn) {
+    uint64_t *Slot = nullptr;
+    if (Mode == VisitedMode::Exact) {
+      auto [It, New] = Exact.try_emplace(KeyFn(), Sleep);
+      if (New) {
+        KeyBytes += It->first.size();
+        return InsertOutcome::Fresh;
+      }
+      Slot = &It->second;
+    } else {
+      auto [It, New] = Fps.try_emplace(Fp, Sleep);
+      if (New) {
+        KeyBytes += sizeof(uint64_t);
+        if (Audit && AuditEntries < AuditBudget) {
+          std::string Key = KeyFn();
+          KeyBytes += Key.size();
+          AuditKeys[Fp].push_back(std::move(Key));
+          ++AuditEntries;
+        }
+        return InsertOutcome::Fresh;
+      }
+      // Fingerprint hit. When audited (and within budget at first sight)
+      // compare exact bytes: a mismatch is a real collision — record it
+      // and fall back to Exact behaviour, exploring the state. Colliding
+      // states share one mask slot; mask decisions across a detected
+      // collision inherit the same residual risk the audit already
+      // counts.
+      if (Audit) {
+        auto AIt = AuditKeys.find(Fp);
+        if (AIt != AuditKeys.end()) {
+          std::string Key = KeyFn();
+          bool Seen = false;
+          for (const std::string &K : AIt->second)
+            if (K == Key) {
+              Seen = true;
+              break;
+            }
+          if (!Seen) {
+            ++Collisions;
+            KeyBytes += Key.size();
+            AIt->second.push_back(std::move(Key));
+            return InsertOutcome::Fresh;
+          }
+        }
+        // Over budget when first seen: indistinguishable from a revisit.
+      }
+      Slot = &It->second;
+    }
+    // Genuine revisit: the prior visits explored everything outside the
+    // stored mask. Covered iff that includes everything outside Sleep.
+    uint64_t Stored = *Slot;
+    if ((Stored & ~Sleep) == 0)
+      return InsertOutcome::Prune;
+    WakeOut = Stored & ~Sleep; // slept then, needed now
+    *Slot = Stored & Sleep;    // strictly shrinks: re-expansion terminates
+    return InsertOutcome::Wake;
+  }
+
+  /// Plain check-and-insert (the mask-0 case). \returns true when the
+  /// state was newly inserted (caller explores it), false on a revisit.
   template <typename KeyFnT>
   bool insert(VisitedMode Mode, bool Audit, uint64_t AuditBudget,
               uint64_t Fp, KeyFnT &&KeyFn) {
-    if (Mode == VisitedMode::Exact) {
-      auto [It, New] = Exact.insert(KeyFn());
-      if (New)
-        KeyBytes += It->size();
-      return New;
-    }
-    if (!Fps.insert(Fp).second) {
-      if (!Audit)
-        return false; // unaudited hash hit: assume a revisit
-      auto It = AuditKeys.find(Fp);
-      if (It == AuditKeys.end())
-        return false; // over budget when first seen: cannot distinguish
-      std::string Key = KeyFn();
-      for (const std::string &Seen : It->second)
-        if (Seen == Key)
-          return false; // genuine revisit
-      // Same fingerprint, different bytes: a real collision. Record it
-      // and fall back to Exact behaviour — explore the state.
-      ++Collisions;
-      KeyBytes += Key.size();
-      It->second.push_back(std::move(Key));
-      return true;
-    }
-    KeyBytes += sizeof(uint64_t);
-    if (Audit && AuditEntries < AuditBudget) {
-      std::string Key = KeyFn();
-      KeyBytes += Key.size();
-      AuditKeys[Fp].push_back(std::move(Key));
-      ++AuditEntries;
-    }
-    return true;
+    uint64_t Wake = 0;
+    return insertMask(Mode, Audit, AuditBudget, Fp, /*Sleep=*/0, Wake,
+                      std::forward<KeyFnT>(KeyFn)) == InsertOutcome::Fresh;
+  }
+
+  /// Read-only membership probe (the parallel/BFS cycle proviso). In
+  /// Fingerprint mode a collision can answer a false "yes", which only
+  /// forces a sound full expansion.
+  template <typename KeyFnT>
+  bool contains(VisitedMode Mode, uint64_t Fp, KeyFnT &&KeyFn) const {
+    if (Mode == VisitedMode::Exact)
+      return Exact.count(KeyFn()) != 0;
+    return Fps.count(Fp) != 0;
   }
 
   uint64_t collisions() const { return Collisions; }
   uint64_t keyBytes() const { return KeyBytes; }
 
 private:
-  std::unordered_set<std::string> Exact;
-  std::unordered_set<uint64_t> Fps;
+  std::unordered_map<std::string, uint64_t> Exact; ///< key -> sleep mask
+  std::unordered_map<uint64_t, uint64_t> Fps;      ///< fp -> sleep mask
   std::unordered_map<uint64_t, std::vector<std::string>> AuditKeys;
   uint64_t AuditEntries = 0;
   uint64_t Collisions = 0;
@@ -109,17 +171,31 @@ public:
 
   /// \returns true when \p S was newly inserted.
   bool insert(const exec::Machine &M, const exec::State &S) {
-    uint64_t Fp = Mode == VisitedMode::Fingerprint
-                      ? Hash(S.words(), M.schedWords())
-                      : 0;
-    return Cell.insert(Mode, Audit, AuditBudget, Fp,
+    return Cell.insert(Mode, Audit, AuditBudget, fp(M, S),
                        [&] { return M.encodeState(S); });
+  }
+
+  /// Mask-aware insert for the sleep-set DFS (file comment).
+  InsertOutcome insertMask(const exec::Machine &M, const exec::State &S,
+                           uint64_t Sleep, uint64_t &WakeOut) {
+    return Cell.insertMask(Mode, Audit, AuditBudget, fp(M, S), Sleep,
+                           WakeOut, [&] { return M.encodeState(S); });
+  }
+
+  /// True when \p S is already in the table (no insertion).
+  bool contains(const exec::Machine &M, const exec::State &S) const {
+    return Cell.contains(Mode, fp(M, S), [&] { return M.encodeState(S); });
   }
 
   uint64_t collisions() const { return Cell.collisions(); }
   uint64_t keyBytes() const { return Cell.keyBytes(); }
 
 private:
+  uint64_t fp(const exec::Machine &M, const exec::State &S) const {
+    return Mode == VisitedMode::Fingerprint ? Hash(S.words(), M.schedWords())
+                                            : 0;
+  }
+
   VisitedMode Mode;
   bool Audit;
   uint64_t AuditBudget;
@@ -147,6 +223,17 @@ public:
     std::lock_guard<std::mutex> Lock(Shard.Mu);
     return Shard.Cell.insert(Mode, Audit, AuditBudget, Fp,
                              [&] { return M.encodeState(S); });
+  }
+
+  /// True when \p S is already in the table. Used by the parallel ample
+  /// engine's cycle-proviso probe: insertion happens-before expansion
+  /// under the shard mutex, so the last-expanded state on any reduced
+  /// cycle is guaranteed to see its successor here (docs/POR.md).
+  bool contains(const exec::Machine &M, const exec::State &S) const {
+    uint64_t Fp = Hash(S.words(), M.schedWords());
+    const ShardT &Shard = Shards[Fp & (NumShards - 1)];
+    std::lock_guard<std::mutex> Lock(Shard.Mu);
+    return Shard.Cell.contains(Mode, Fp, [&] { return M.encodeState(S); });
   }
 
   uint64_t collisions() const {

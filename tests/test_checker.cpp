@@ -83,7 +83,7 @@ TEST(Checker, RacyCounterFailsWithoutPOR) {
   Program P;
   buildCounter(P, /*Atomic=*/false, 2, 4);
   CheckerConfig Cfg;
-  Cfg.UsePOR = false;
+  Cfg.Por = PorMode::Off;
   CheckResult R = check(P, Cfg);
   EXPECT_FALSE(R.Ok);
 }
@@ -93,7 +93,7 @@ TEST(Checker, PORReducesStateCount) {
   buildCounter(PA, /*Atomic=*/true, 3, 6);
   buildCounter(PB, /*Atomic=*/true, 3, 6);
   CheckerConfig NoPor;
-  NoPor.UsePOR = false;
+  NoPor.Por = PorMode::Off;
   NoPor.UseRandomFalsifier = false;
   CheckerConfig Por;
   Por.UseRandomFalsifier = false;

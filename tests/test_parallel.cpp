@@ -96,11 +96,15 @@ void buildLockChoice(Program &P, unsigned &HoleOut, int ExpectedTotal) {
 TEST(ParallelChecker, OkRunMatchesSequentialStateCount) {
   // Run-to-exhaustion explores the same deduped state set in any order,
   // so an Ok run's StatesExplored must not depend on the worker count.
+  // Pinned to Por == Local: under Ample the parallel cycle-proviso probe
+  // races insertion, so even the explored-set size is timing-dependent
+  // (the ModelChecker.h contract documents this; verdicts still agree).
   std::vector<uint64_t> Counts;
   for (unsigned W : {1u, 2u, 4u, 8u}) {
     Program P;
     buildCounter(P, /*Atomic=*/true, 2, 4);
     CheckerConfig Cfg;
+    Cfg.Por = PorMode::Local;
     Cfg.NumThreads = W;
     CheckResult R = check(P, Cfg);
     ASSERT_TRUE(R.Ok) << "W=" << W;

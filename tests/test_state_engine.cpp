@@ -150,12 +150,15 @@ TEST(StateEngine, UndoDfsMatchesCopyDfs) {
     bool Atomic;
     int Count;
     int Expected;
-    bool UsePOR;
+    PorMode Por;
   } Scenarios[] = {
-      {true, 2, 4, true},   // clean run, POR on
-      {false, 2, 4, true},  // racy failure, POR on
-      {true, 2, 4, false},  // clean run, POR off
-      {true, 2, 5, true},   // epilogue assertion failure
+      {true, 2, 4, PorMode::Local},   // clean run, local POR
+      {false, 2, 4, PorMode::Local},  // racy failure, local POR
+      {true, 2, 4, PorMode::Off},     // clean run, POR off
+      {true, 2, 5, PorMode::Local},   // epilogue assertion failure
+      {true, 2, 4, PorMode::Ample},   // clean run, ample + sleep sets
+      {false, 2, 4, PorMode::Ample},  // racy failure, ample + sleep sets
+      {true, 2, 5, PorMode::Ample},   // epilogue failure, ample
   };
   for (const Scenario &Sc : Scenarios) {
     Program PUndo, PCopy;
@@ -163,7 +166,7 @@ TEST(StateEngine, UndoDfsMatchesCopyDfs) {
     buildCounter(PCopy, Sc.Atomic, Sc.Count, Sc.Expected);
     CheckerConfig Cfg;
     Cfg.UseRandomFalsifier = false; // isolate the exhaustive phase
-    Cfg.UsePOR = Sc.UsePOR;
+    Cfg.Por = Sc.Por;
     CheckerConfig Copy = Cfg;
     Copy.UseUndoLog = false;
     flat::FlatProgram FU = flat::flatten(PUndo);
@@ -173,10 +176,13 @@ TEST(StateEngine, UndoDfsMatchesCopyDfs) {
     CheckResult RU = checkCandidate(MU, Cfg);
     CheckResult RC = checkCandidate(MC, Copy);
     std::string Tag = std::string("atomic=") + (Sc.Atomic ? "1" : "0") +
-                      " por=" + (Sc.UsePOR ? "1" : "0");
+                      " por=" + std::to_string(static_cast<int>(Sc.Por));
     EXPECT_EQ(RU.Ok, RC.Ok) << Tag;
     EXPECT_EQ(RU.StatesExplored, RC.StatesExplored) << Tag;
     EXPECT_EQ(RU.StatesDeduped, RC.StatesDeduped) << Tag;
+    EXPECT_EQ(RU.AmpleStates, RC.AmpleStates) << Tag;
+    EXPECT_EQ(RU.FullExpansions, RC.FullExpansions) << Tag;
+    EXPECT_EQ(RU.SleepSkips, RC.SleepSkips) << Tag;
     EXPECT_EQ(RU.Exhausted, RC.Exhausted) << Tag;
     expectSameCex(RU, RC, Tag);
   }
