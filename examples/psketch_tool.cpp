@@ -5,7 +5,7 @@
 //
 // Usage: psketch_tool [--lint] [--no-prescreen] [--jobs N] [--seed S]
 //                     [--visited exact|fingerprint] [--por off|local|ample]
-//                     [file.psk ...]
+//                     [--symmetry on|off] [--stats] [file.psk ...]
 //
 // Default mode parses one mini-PSketch source file, runs concurrent CEGIS
 // (with the static pre-screen analyzer unless --no-prescreen), and prints
@@ -19,8 +19,12 @@
 // representation (exact keys, the default, or 8-byte fingerprints — see
 // docs/PARALLEL.md §5 for the soundness trade); --por picks the checker's
 // partial-order reduction (off, local, or the default ample — see
-// docs/POR.md; verdicts are identical in all three modes). Bad values are
-// typed diagnostics with a nonzero exit, like every other usage error.
+// docs/POR.md; verdicts are identical in all three modes); --symmetry
+// toggles symmetry reduction (on, the default, proves thread orbits
+// statically and canonicalizes states — see docs/SYMMETRY.md; verdicts
+// are identical either way); --stats prints the checker's observability
+// counters in one aligned block after the run. Bad values are typed
+// diagnostics with a nonzero exit, like every other usage error.
 //
 // --lint runs the frontend validator and all three analysis passes over
 // every given file, prints the diagnostics, and skips synthesis. Exit
@@ -196,6 +200,41 @@ bool parsePor(const char *Text, verify::PorMode &Out) {
   return false;
 }
 
+/// Parses the --symmetry mode argument. \returns false after printing a
+/// typed diagnostic when the value is missing or not a known mode.
+bool parseSymmetry(const char *Text, verify::SymmetryMode &Out) {
+  if (Text && std::strcmp(Text, "on") == 0) {
+    Out = verify::SymmetryMode::Orbit;
+    return true;
+  }
+  if (Text && std::strcmp(Text, "off") == 0) {
+    Out = verify::SymmetryMode::Off;
+    return true;
+  }
+  printDiag({analysis::Severity::Error, "cli",
+             std::string("--symmetry: bad value '") + (Text ? Text : "") +
+                 "' (expected 'on' or 'off')",
+             ""});
+  return false;
+}
+
+/// --stats: the checker/CEGIS observability counters, one aligned block.
+void printStats(const cegis::CegisStats &S) {
+  std::printf("stats:\n");
+  std::printf("  %-20s %llu\n", "StatesExplored",
+              static_cast<unsigned long long>(S.StatesExplored));
+  std::printf("  %-20s %llu\n", "AmpleStates",
+              static_cast<unsigned long long>(S.AmpleStates));
+  std::printf("  %-20s %llu\n", "FullExpansions",
+              static_cast<unsigned long long>(S.FullExpansions));
+  std::printf("  %-20s %llu\n", "SleepSkips",
+              static_cast<unsigned long long>(S.SleepSkips));
+  std::printf("  %-20s %u\n", "SymmetryOrbits", S.SymmetryOrbits);
+  std::printf("  %-20s %llu\n", "CanonHits",
+              static_cast<unsigned long long>(S.CanonHits));
+  std::printf("  %-20s %.4fs\n", "CanonTime", S.CanonTime);
+}
+
 /// Parses the --visited mode argument. \returns false after printing a
 /// typed diagnostic when the value is missing or not a known mode.
 bool parseVisited(const char *Text, verify::VisitedMode &Out) {
@@ -217,10 +256,11 @@ bool parseVisited(const char *Text, verify::VisitedMode &Out) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool Lint = false, Prescreen = true;
+  bool Lint = false, Prescreen = true, Stats = false;
   uint64_t Jobs = 1, Seed = 1;
   verify::VisitedMode Visited = verify::VisitedMode::Exact;
   verify::PorMode Por = verify::PorMode::Ample;
+  verify::SymmetryMode Symmetry = verify::SymmetryMode::Orbit;
   std::vector<const char *> Files;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--lint") == 0)
@@ -247,12 +287,21 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(Argv[I], "--por=", 6) == 0) {
       if (!parsePor(Argv[I] + 6, Por))
         return 1;
+    } else if (std::strcmp(Argv[I], "--symmetry") == 0) {
+      if (!parseSymmetry(I + 1 < Argc ? Argv[++I] : nullptr, Symmetry))
+        return 1;
+    } else if (std::strncmp(Argv[I], "--symmetry=", 11) == 0) {
+      if (!parseSymmetry(Argv[I] + 11, Symmetry))
+        return 1;
+    } else if (std::strcmp(Argv[I], "--stats") == 0) {
+      Stats = true;
     } else if (std::strncmp(Argv[I], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: psketch_tool [--lint] [--no-prescreen] "
                    "[--jobs N] [--seed S] "
                    "[--visited exact|fingerprint] "
-                   "[--por off|local|ample] [file.psk ...]\n");
+                   "[--por off|local|ample] "
+                   "[--symmetry on|off] [--stats] [file.psk ...]\n");
       return 1;
     } else
       Files.push_back(Argv[I]);
@@ -299,6 +348,9 @@ int main(int Argc, char **Argv) {
   if (Por != verify::PorMode::Ample)
     std::printf("checker: partial-order reduction %s (default: ample)\n",
                 Por == verify::PorMode::Off ? "off" : "local-only");
+  Cfg.Checker.Symmetry = Symmetry;
+  if (Symmetry == verify::SymmetryMode::Off)
+    std::printf("checker: symmetry reduction off (default: on)\n");
   Cfg.Log = [](const std::string &Message) {
     std::printf("  %s\n", Message.c_str());
   };
@@ -315,9 +367,13 @@ int main(int Argc, char **Argv) {
     std::printf("UNRESOLVABLE after %u iterations (%.2fs)%s\n",
                 R.Stats.Iterations, R.Stats.TotalSeconds,
                 R.Stats.Aborted ? " [budget hit]" : "");
+    if (Stats)
+      printStats(R.Stats);
     return 2;
   }
   std::printf("resolved in %u iterations (%.2fs)\n\n%s", R.Stats.Iterations,
               R.Stats.TotalSeconds, C.printResolved(R).c_str());
+  if (Stats)
+    printStats(R.Stats);
   return 0;
 }

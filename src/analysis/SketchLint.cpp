@@ -6,6 +6,7 @@
 
 #include "analysis/SketchLint.h"
 
+#include "analysis/SymmetryInfer.h"
 #include "analysis/Util.h"
 #include "ir/StaticEval.h"
 #include "support/StrUtil.h"
@@ -221,6 +222,38 @@ void lintStructure(const Program &P, const FlatProgram &FP,
                        P.globals()[G].Name.c_str()));
 }
 
+//===----------------------------------------------------------------------===//
+// Near-symmetry.
+//===----------------------------------------------------------------------===//
+
+/// Flags thread pairs the symmetry inference leaves in different orbits
+/// but whose bodies differ at only one or two match sites (a hole choice
+/// or a literal): usually an accidental asymmetry the author can repair
+/// to unlock the checker's orbit reduction (docs/SYMMETRY.md).
+void lintNearSymmetry(const Program &P, const FlatProgram &FP,
+                      DiagnosticSink &Sink) {
+  unsigned N = static_cast<unsigned>(FP.Threads.size());
+  if (N < 2)
+    return;
+  HoleAssignment Empty; // lint runs pre-synthesis: no candidate yet
+  SymmetryPlan Plan = inferSymmetry(P, FP, Empty);
+  std::vector<unsigned> OrbitOf = Plan.OrbitOf;
+  if (OrbitOf.size() != N)
+    OrbitOf.assign(N, 0); // inference refused: treat threads pairwise
+  for (unsigned A = 0; A < N; ++A)
+    for (unsigned B = A + 1; B < N; ++B) {
+      if (Plan.nontrivial() && OrbitOf[A] == OrbitOf[B])
+        continue; // already symmetric: nothing to report
+      std::optional<unsigned> Dist = nearSymmetryDistance(P, FP, A, B);
+      if (Dist && *Dist >= 1 && *Dist <= 2)
+        Sink.note(PassName,
+                  format("near-symmetry: threads %u and %u differ at only "
+                         "%u site(s); making them identical would let the "
+                         "checker collapse their interleavings",
+                         A, B, *Dist));
+    }
+}
+
 } // namespace
 
 void psketch::analysis::runSketchLint(Program &P, const FlatProgram &FP,
@@ -231,4 +264,5 @@ void psketch::analysis::runSketchLint(Program &P, const FlatProgram &FP,
   lintConstantAsserts(P, FP, Sink, Out);
   lintUnobservableHoles(P, FP, Sink);
   lintStructure(P, FP, Sink);
+  lintNearSymmetry(P, FP, Sink);
 }

@@ -1,0 +1,768 @@
+//===- analysis/SymmetryInfer.cpp ------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+// Thread-symmetry inference (docs/SYMMETRY.md). A candidate thread
+// permutation pi is accepted only when it is an automorphism of the
+// flattened transition system: every step of thread t must map onto the
+// positionally corresponding step of thread pi(t) under a consistent
+// renaming of locals, global-array elements (the slot permutation rho_g)
+// and stored literals (the value permutation V_g), with holes shared and
+// the epilogue invariant as a multiset of renamed read-only asserts.
+// Everything outside that fragment refuses conservatively — a refused
+// permutation only costs reduction, never soundness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SymmetryInfer.h"
+
+#include "analysis/Util.h"
+#include "ir/StaticEval.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+
+using namespace psketch;
+using namespace psketch::analysis;
+using namespace psketch::ir;
+using namespace psketch::flat;
+
+namespace {
+
+/// Enumeration cap: the driver tries all N! thread permutations, so the
+/// pass refuses beyond 8 threads (8! = 40320 candidates, each rejected
+/// cheaply on the first mismatching step).
+constexpr unsigned MaxSymThreads = 8;
+
+constexpr unsigned NoGlobal = ~0u;
+
+bool exprUsesHeap(ExprRef E) {
+  if (!E)
+    return false;
+  if (E->Kind == ExprKind::FieldRead)
+    return true;
+  for (ExprRef Op : E->Ops)
+    if (exprUsesHeap(Op))
+      return true;
+  return false;
+}
+
+/// True when \p B allocates or touches heap fields. Heap-owning thread
+/// bodies refuse symmetry entirely: node identities are allocation-order
+/// artifacts, so renaming threads without renaming references is unsound
+/// and reference renaming is out of scope (docs/SYMMETRY.md, "Refusals").
+bool bodyUsesHeap(const FlatBody &B) {
+  for (const Step &S : B.Steps) {
+    if (exprUsesHeap(S.StaticGuard) || exprUsesHeap(S.DynGuard) ||
+        exprUsesHeap(S.WaitCond))
+      return true;
+    for (const MicroOp &Op : S.Ops) {
+      if (Op.OpKind == MicroOp::Kind::Alloc)
+        return true;
+      if (Op.Target.LocKind == Loc::Kind::Field)
+        return true;
+      if (exprUsesHeap(Op.Pred) || exprUsesHeap(Op.Value) ||
+          exprUsesHeap(Op.Target.Index))
+        return true;
+    }
+  }
+  return false;
+}
+
+/// Positions at which two renamed bodies may fold to *different*
+/// constants without observing the thread id asymmetrically.
+enum class Pos : uint8_t {
+  None,  ///< a mismatch here is an asymmetric id observation — refuse
+  Index, ///< global-array index: induces a slot-permutation entry
+  Value, ///< stored / Eq-Ne-compared literal: induces a value-map entry
+};
+
+/// If expressions \p A and \p B are both direct reads of the same global
+/// (scalar or array element), \returns its id, else NoGlobal. Used to
+/// sanction the literal on the other side of an Eq/Ne.
+unsigned readClassOf(ExprRef A, ExprRef B) {
+  if (!A || !B)
+    return NoGlobal;
+  if ((A->Kind == ExprKind::GlobalRead ||
+       A->Kind == ExprKind::GlobalArrayRead) &&
+      B->Kind == A->Kind && A->Id == B->Id)
+    return A->Id;
+  return NoGlobal;
+}
+
+/// Matches thread bodies pairwise under one candidate thread permutation
+/// and accumulates the induced renamings plus the discipline facts the
+/// finalize step checks. In lenient mode (the near-symmetry lint)
+/// literal/hole mismatches are counted instead of refusing; shape
+/// mismatches still fail hard.
+class PermMatcher {
+public:
+  PermMatcher(const Program &P, const FlatProgram &FP,
+              const HoleAssignment &Holes, std::vector<unsigned> CtxMap,
+              bool Lenient)
+      : P(P), FP(FP), Holes(Holes), CtxMap(std::move(CtxMap)),
+        Lenient(Lenient) {
+    size_t NumGlobals = P.globals().size();
+    SlotCon.resize(NumGlobals);
+    ValCon.resize(NumGlobals);
+    GeneralRead.assign(NumGlobals, false);
+    NonConstWrite.assign(NumGlobals, false);
+    NonConstIndex.assign(NumGlobals, false);
+    LocalCon.resize(FP.Threads.size());
+    for (size_t T = 0; T < FP.Threads.size(); ++T)
+      LocalCon[T].assign(
+          P.body(BodyId::thread(static_cast<unsigned>(T))).Locals.size(), -1);
+  }
+
+  /// Matches every thread body against its image. \returns false on a
+  /// hard (shape) failure or, in strict mode, on any mismatch.
+  bool run() {
+    for (unsigned T = 0; T < CtxMap.size(); ++T) {
+      if (CtxMap[T] == T)
+        continue; // a fixed thread matches itself trivially
+      if (!matchPair(T, CtxMap[T]))
+        return false;
+    }
+    return true;
+  }
+
+  /// Matches the body of thread \p T against the body of thread \p U
+  /// under the T -> U renaming.
+  bool matchPair(unsigned T, unsigned U) {
+    const std::vector<Local> &LA = P.body(BodyId::thread(T)).Locals;
+    const std::vector<Local> &LB = P.body(BodyId::thread(U)).Locals;
+    if (LA.size() != LB.size())
+      return false;
+    const FlatBody &A = FP.Threads[T];
+    const FlatBody &B = FP.Threads[U];
+    if (A.Steps.size() != B.Steps.size())
+      return false;
+    CurT = T;
+    for (size_t I = 0; I < A.Steps.size(); ++I)
+      if (!matchStep(A.Steps[I], B.Steps[I]))
+        return false;
+    return true;
+  }
+
+  unsigned mismatches() const { return Mismatches; }
+
+  /// Builds the finalized ThreadPerm from the accumulated constraints,
+  /// or nullopt when a discipline check fails (strict mode only).
+  std::optional<ThreadPerm> finalize() const {
+    ThreadPerm Perm;
+    Perm.CtxMap = CtxMap;
+    Perm.InvCtxMap.assign(CtxMap.size(), 0);
+    for (unsigned T = 0; T < CtxMap.size(); ++T)
+      Perm.InvCtxMap[CtxMap[T]] = T;
+
+    // Locals: complete unconstrained slots to identity when free, else to
+    // the first free image slot (such slots are never touched by any
+    // step, so any bijection commutes with every transition).
+    Perm.LocalMap.resize(LocalCon.size());
+    for (size_t T = 0; T < LocalCon.size(); ++T) {
+      const std::vector<int> &Con = LocalCon[T];
+      std::vector<bool> Used(Con.size(), false);
+      for (int Img : Con)
+        if (Img >= 0)
+          Used[Img] = true;
+      std::vector<unsigned> &LM = Perm.LocalMap[T];
+      LM.resize(Con.size());
+      for (size_t L = 0; L < Con.size(); ++L) {
+        if (Con[L] >= 0) {
+          LM[L] = static_cast<unsigned>(Con[L]);
+          continue;
+        }
+        size_t Img = L;
+        if (Used[Img]) {
+          Img = 0;
+          while (Img < Con.size() && Used[Img])
+            ++Img;
+        }
+        Used[Img] = true;
+        LM[L] = static_cast<unsigned>(Img);
+      }
+    }
+
+    Perm.SlotMap.resize(P.globals().size());
+    Perm.ValueMap.resize(P.globals().size());
+    for (size_t G = 0; G < P.globals().size(); ++G) {
+      // Value discipline: a non-identity value map is sound only when
+      // every write of the class folds to a mapped literal and every
+      // read is a direct Eq/Ne comparison against one (then the map
+      // commutes with each operation; docs/SYMMETRY.md).
+      if (!ValCon[G].empty()) {
+        if (GeneralRead[G] || NonConstWrite[G])
+          return std::nullopt;
+        std::set<int64_t> Dom, Range;
+        for (const auto &KV : ValCon[G]) {
+          Dom.insert(KV.first);
+          Range.insert(KV.second);
+        }
+        // dom == range as sets, so the identity extension outside the
+        // map is still a permutation of the value space.
+        if (Dom != Range)
+          return std::nullopt;
+        Perm.ValueMap[G].assign(ValCon[G].begin(), ValCon[G].end());
+      }
+      if (!SlotCon[G].empty()) {
+        if (NonConstIndex[G])
+          return std::nullopt;
+        unsigned Size = P.globals()[G].ArraySize;
+        std::vector<int> Map(Size, -1);
+        std::vector<bool> Used(Size, false);
+        for (const auto &KV : SlotCon[G]) {
+          Map[static_cast<size_t>(KV.first)] = static_cast<int>(KV.second);
+          Used[static_cast<size_t>(KV.second)] = true;
+        }
+        for (unsigned I = 0; I < Size; ++I) {
+          if (Map[I] >= 0)
+            continue;
+          unsigned Img = I;
+          if (Used[Img]) {
+            Img = 0;
+            while (Img < Size && Used[Img])
+              ++Img;
+          }
+          Used[Img] = true;
+          Map[I] = static_cast<int>(Img);
+        }
+        Perm.SlotMap[G].assign(Map.begin(), Map.end());
+      }
+    }
+    return Perm;
+  }
+
+private:
+  /// A tolerable mismatch site (a literal or hole id difference). Strict
+  /// mode refuses; lenient mode counts it and keeps matching.
+  bool site() {
+    if (!Lenient)
+      return false;
+    ++Mismatches;
+    return true;
+  }
+
+  bool folds(ExprRef E) const {
+    return tryEvalStatic(P, E, Holes).has_value();
+  }
+
+  bool addSlotCon(unsigned G, int64_t From, int64_t To) {
+    auto Size = static_cast<int64_t>(P.globals()[G].ArraySize);
+    if (From < 0 || To < 0 || From >= Size || To >= Size)
+      return site(); // out-of-range static index: outside the fragment
+    auto [It, New] = SlotCon[G].try_emplace(From, To);
+    if (!New && It->second != To)
+      return site();
+    if (New) {
+      // Injectivity at insert: no two sources may share an image.
+      for (const auto &KV : SlotCon[G])
+        if (KV.first != From && KV.second == To)
+          return site();
+    }
+    return true;
+  }
+
+  bool addValCon(unsigned G, int64_t From, int64_t To) {
+    auto [It, New] = ValCon[G].try_emplace(From, To);
+    if (!New && It->second != To)
+      return site();
+    if (New) {
+      for (const auto &KV : ValCon[G])
+        if (KV.first != From && KV.second == To)
+          return site();
+    }
+    return true;
+  }
+
+  bool addLocalCon(unsigned From, unsigned To) {
+    std::vector<int> &Con = LocalCon[CurT];
+    if (From >= Con.size() || To >= Con.size())
+      return false;
+    if (Con[From] >= 0)
+      return Con[From] == static_cast<int>(To);
+    for (int Img : Con)
+      if (Img == static_cast<int>(To))
+        return false; // two sources, one image: not a bijection
+    Con[From] = static_cast<int>(To);
+    return true;
+  }
+
+  void noteRead(unsigned G, bool Sanctioned) {
+    if (!Sanctioned)
+      GeneralRead[G] = true;
+  }
+
+  /// The workhorse. \p PosKind/\p PosG describe the sanctioned position
+  /// this pair occupies; \p ReadSanctioned is true when a global read at
+  /// this exact node is a disciplined Eq/Ne comparison (the literal on
+  /// the other side folds on both bodies).
+  bool matchExpr(ExprRef A, ExprRef B, Pos PosKind, unsigned PosG,
+                 bool ReadSanctioned) {
+    if (!A || !B)
+      return A == nullptr && B == nullptr;
+    auto VA = tryEvalStatic(P, A, Holes);
+    auto VB = tryEvalStatic(P, B, Holes);
+    if (VA && VB) {
+      if (*VA == *VB)
+        return true;
+      if (PosKind == Pos::Index)
+        return addSlotCon(PosG, *VA, *VB);
+      if (PosKind == Pos::Value)
+        return addValCon(PosG, *VA, *VB);
+      return site(); // asymmetric observation of the thread id
+    }
+    if (VA.has_value() != VB.has_value())
+      return false;
+    if (A->Kind != B->Kind || A->Ty != B->Ty)
+      return false;
+    switch (A->Kind) {
+    case ExprKind::GlobalRead:
+      if (A->Id != B->Id)
+        return false;
+      noteRead(A->Id, ReadSanctioned);
+      return true;
+    case ExprKind::GlobalArrayRead: {
+      if (A->Id != B->Id)
+        return false;
+      noteRead(A->Id, ReadSanctioned);
+      if (!folds(A->Ops[0]) || !folds(B->Ops[0]))
+        NonConstIndex[A->Id] = true; // dynamic index: rho must be identity
+      return matchExpr(A->Ops[0], B->Ops[0], Pos::Index, A->Id, false);
+    }
+    case ExprKind::LocalRead:
+      return addLocalCon(A->Id, B->Id);
+    case ExprKind::FieldRead:
+      return false; // backstop; heap bodies are refused before matching
+    case ExprKind::HoleRead:
+      return A->Id == B->Id ? true : site();
+    case ExprKind::Choice: {
+      if (A->Id != B->Id && !site())
+        return false;
+      if (A->Id == B->Id && A->Id < Holes.size()) {
+        uint64_t Pick = Holes[A->Id];
+        if (Pick >= A->Ops.size() || Pick >= B->Ops.size())
+          return false;
+        return matchExpr(A->Ops[Pick], B->Ops[Pick], PosKind, PosG,
+                         ReadSanctioned);
+      }
+      if (A->Ops.size() != B->Ops.size())
+        return false;
+      for (size_t I = 0; I < A->Ops.size(); ++I)
+        if (!matchExpr(A->Ops[I], B->Ops[I], PosKind, PosG, ReadSanctioned))
+          return false;
+      return true;
+    }
+    case ExprKind::Eq:
+    case ExprKind::Ne: {
+      bool F0 = folds(A->Ops[0]) && folds(B->Ops[0]);
+      bool F1 = folds(A->Ops[1]) && folds(B->Ops[1]);
+      unsigned C0 = readClassOf(A->Ops[0], B->Ops[0]);
+      unsigned C1 = readClassOf(A->Ops[1], B->Ops[1]);
+      Pos P0 = (F0 && C1 != NoGlobal) ? Pos::Value : Pos::None;
+      Pos P1 = (F1 && C0 != NoGlobal) ? Pos::Value : Pos::None;
+      return matchExpr(A->Ops[0], B->Ops[0], P0,
+                       P0 == Pos::Value ? C1 : NoGlobal,
+                       C0 != NoGlobal && F1) &&
+             matchExpr(A->Ops[1], B->Ops[1], P1,
+                       P1 == Pos::Value ? C0 : NoGlobal,
+                       C1 != NoGlobal && F0);
+    }
+    default: {
+      if (A->Ops.size() != B->Ops.size())
+        return false;
+      for (size_t I = 0; I < A->Ops.size(); ++I)
+        if (!matchExpr(A->Ops[I], B->Ops[I], Pos::None, NoGlobal, false))
+          return false;
+      return true;
+    }
+    }
+  }
+
+  bool matchLoc(const Loc &A, const Loc &B) {
+    if (A.LocKind != B.LocKind)
+      return false;
+    switch (A.LocKind) {
+    case Loc::Kind::Global:
+      return A.Id == B.Id;
+    case Loc::Kind::GlobalArray:
+      if (A.Id != B.Id)
+        return false;
+      if (!folds(A.Index) || !folds(B.Index))
+        NonConstIndex[A.Id] = true;
+      return matchExpr(A.Index, B.Index, Pos::Index, A.Id, false);
+    case Loc::Kind::Local:
+      return addLocalCon(A.Id, B.Id);
+    case Loc::Kind::Field:
+      return false;
+    }
+    return false;
+  }
+
+  bool matchOp(const MicroOp &A, const MicroOp &B) {
+    if (A.OpKind != B.OpKind)
+      return false;
+    if (A.OpKind == MicroOp::Kind::Alloc)
+      return false; // backstop; heap bodies are refused before matching
+    if ((A.Pred == nullptr) != (B.Pred == nullptr))
+      return false;
+    if (A.Pred && !matchExpr(A.Pred, B.Pred, Pos::None, NoGlobal, false))
+      return false;
+    if (A.OpKind == MicroOp::Kind::Assert)
+      return matchExpr(A.Value, B.Value, Pos::None, NoGlobal, false);
+    if (!matchLoc(A.Target, B.Target))
+      return false;
+    if (A.Target.LocKind == Loc::Kind::Global ||
+        A.Target.LocKind == Loc::Kind::GlobalArray) {
+      unsigned G = A.Target.Id;
+      if (!folds(A.Value) || !folds(B.Value))
+        NonConstWrite[G] = true; // dynamic write: V must be identity
+      return matchExpr(A.Value, B.Value, Pos::Value, G, false);
+    }
+    return matchExpr(A.Value, B.Value, Pos::None, NoGlobal, false);
+  }
+
+  bool matchStep(const Step &A, const Step &B) {
+    // Static guards select per-candidate dead steps; liveness must align
+    // positionally so pc values mean the same step under the renaming.
+    if ((A.StaticGuard == nullptr) != (B.StaticGuard == nullptr))
+      return false;
+    if (A.StaticGuard) {
+      auto GA = tryEvalStatic(P, A.StaticGuard, Holes);
+      auto GB = tryEvalStatic(P, B.StaticGuard, Holes);
+      if (GA.has_value() != GB.has_value())
+        return false;
+      if (GA) {
+        bool LiveA = *GA != 0, LiveB = *GB != 0;
+        if (LiveA != LiveB)
+          return site();
+        if (!LiveA)
+          return true; // both statically dead: contents never execute
+      } else if (!matchExpr(A.StaticGuard, B.StaticGuard, Pos::None, NoGlobal,
+                            false)) {
+        return false; // lint mode: hole-only guards match structurally
+      }
+    }
+    if ((A.DynGuard == nullptr) != (B.DynGuard == nullptr) ||
+        (A.WaitCond == nullptr) != (B.WaitCond == nullptr))
+      return false;
+    if (A.DynGuard && !matchExpr(A.DynGuard, B.DynGuard, Pos::None, NoGlobal,
+                                 false))
+      return false;
+    if (A.WaitCond &&
+        !matchExpr(A.WaitCond, B.WaitCond, Pos::None, NoGlobal, false))
+      return false;
+    if (A.Ops.size() != B.Ops.size())
+      return false;
+    for (size_t I = 0; I < A.Ops.size(); ++I)
+      if (!matchOp(A.Ops[I], B.Ops[I]))
+        return false;
+    return true;
+  }
+
+  const Program &P;
+  const FlatProgram &FP;
+  const HoleAssignment &Holes;
+  std::vector<unsigned> CtxMap;
+  bool Lenient;
+  unsigned Mismatches = 0;
+  unsigned CurT = 0;
+
+  /// Per thread: local slot -> image slot in the image thread (-1 open).
+  std::vector<std::vector<int>> LocalCon;
+  /// Per global: partial slot / value maps plus the discipline facts.
+  std::vector<std::map<int64_t, int64_t>> SlotCon;
+  std::vector<std::map<int64_t, int64_t>> ValCon;
+  std::vector<bool> GeneralRead;   ///< read outside a disciplined Eq/Ne
+  std::vector<bool> NonConstWrite; ///< value written that does not fold
+  std::vector<bool> NonConstIndex; ///< array indexed by a dynamic expr
+};
+
+//===----------------------------------------------------------------------===//
+// Epilogue invariance.
+//===----------------------------------------------------------------------===//
+
+int64_t mappedValue(const std::vector<std::pair<int64_t, int64_t>> &Map,
+                    int64_t V, bool &Found) {
+  auto It = std::lower_bound(
+      Map.begin(), Map.end(), V,
+      [](const std::pair<int64_t, int64_t> &E, int64_t X) {
+        return E.first < X;
+      });
+  Found = It != Map.end() && It->first == V;
+  return Found ? It->second : V;
+}
+
+unsigned singleReadClass(ExprRef E) {
+  if (E && (E->Kind == ExprKind::GlobalRead ||
+            E->Kind == ExprKind::GlobalArrayRead))
+    return E->Id;
+  return NoGlobal;
+}
+
+/// Serializes \p E with the renamings of \p Perm applied (nullptr = the
+/// identity). \returns false when the expression leaves the renameable
+/// fragment — a folded literal in a value position outside dom(V), or a
+/// general-position read of a value-mapped global.
+bool renameExpr(const Program &P, const HoleAssignment &Holes, ExprRef E,
+                const ThreadPerm *Perm, Pos PosKind, unsigned PosG,
+                bool UnderEqNe, std::string &Out) {
+  if (!E) {
+    Out += '_';
+    return true;
+  }
+  auto V = tryEvalStatic(P, E, Holes);
+  if (V) {
+    int64_t X = *V;
+    if (Perm && PosKind == Pos::Index && !Perm->SlotMap[PosG].empty()) {
+      if (X < 0 || X >= static_cast<int64_t>(Perm->SlotMap[PosG].size()))
+        return false;
+      X = Perm->SlotMap[PosG][static_cast<size_t>(X)];
+    } else if (Perm && PosKind == Pos::Value && !Perm->ValueMap[PosG].empty()) {
+      // finalize() guarantees dom(V) == range(V) as sets, so the identity
+      // extension of V is a permutation fixing every value outside dom —
+      // an out-of-dom literal (e.g. the 0 an "all released" assert
+      // compares against) serializes unchanged.
+      bool Found = false;
+      X = mappedValue(Perm->ValueMap[PosG], X, Found);
+    }
+    Out += '#';
+    Out += std::to_string(X);
+    return true;
+  }
+  switch (E->Kind) {
+  case ExprKind::GlobalRead:
+    if (Perm && !Perm->ValueMap[E->Id].empty() && !UnderEqNe)
+      return false; // value-mapped global read in a general position
+    Out += 'g';
+    Out += std::to_string(E->Id);
+    return true;
+  case ExprKind::GlobalArrayRead:
+    if (Perm && !Perm->ValueMap[E->Id].empty() && !UnderEqNe)
+      return false;
+    Out += 'a';
+    Out += std::to_string(E->Id);
+    Out += '[';
+    if (!renameExpr(P, Holes, E->Ops[0], Perm, Pos::Index, E->Id, false, Out))
+      return false;
+    Out += ']';
+    return true;
+  case ExprKind::LocalRead:
+    Out += 'l';
+    Out += std::to_string(E->Id);
+    return true;
+  case ExprKind::HoleRead:
+    Out += 'h';
+    Out += std::to_string(E->Id);
+    return true;
+  case ExprKind::Choice: {
+    if (E->Id < Holes.size()) {
+      uint64_t Pick = Holes[E->Id];
+      if (Pick >= E->Ops.size())
+        return false;
+      return renameExpr(P, Holes, E->Ops[Pick], Perm, PosKind, PosG,
+                        UnderEqNe, Out);
+    }
+    Out += 'c';
+    Out += std::to_string(E->Id);
+    Out += '(';
+    for (ExprRef Op : E->Ops)
+      if (!renameExpr(P, Holes, Op, Perm, PosKind, PosG, UnderEqNe, Out))
+        return false;
+    Out += ')';
+    return true;
+  }
+  case ExprKind::Eq:
+  case ExprKind::Ne: {
+    unsigned C0 = singleReadClass(E->Ops[0]);
+    unsigned C1 = singleReadClass(E->Ops[1]);
+    Out += E->Kind == ExprKind::Eq ? "==(" : "!=(";
+    if (!renameExpr(P, Holes, E->Ops[0], Perm,
+                    C1 != NoGlobal ? Pos::Value : Pos::None, C1,
+                    C0 != NoGlobal, Out))
+      return false;
+    Out += ',';
+    if (!renameExpr(P, Holes, E->Ops[1], Perm,
+                    C0 != NoGlobal ? Pos::Value : Pos::None, C0,
+                    C1 != NoGlobal, Out))
+      return false;
+    Out += ')';
+    return true;
+  }
+  default: {
+    Out += 'k';
+    Out += std::to_string(static_cast<int>(E->Kind));
+    Out += '(';
+    for (ExprRef Op : E->Ops) {
+      if (!renameExpr(P, Holes, Op, Perm, Pos::None, NoGlobal, false, Out))
+        return false;
+      Out += ',';
+    }
+    Out += ')';
+    return true;
+  }
+  }
+}
+
+/// Serializes the live epilogue steps under \p Perm's renaming as a
+/// sorted multiset, or nullopt when any step leaves the invariant
+/// fragment. Only read-only steps (pure asserts) are admitted: those
+/// commute pairwise, so order is irrelevant and multiset equality with
+/// the identity serialization proves the epilogue evaluates identically
+/// on a state and its image (docs/SYMMETRY.md).
+std::optional<std::vector<std::string>>
+renamedEpilogue(const Program &P, const FlatProgram &FP,
+                const HoleAssignment &Holes, const ThreadPerm *Perm) {
+  std::vector<std::string> Steps;
+  for (const Step &S : FP.Epilogue.Steps) {
+    if (S.StaticGuard) {
+      auto G = tryEvalStatic(P, S.StaticGuard, Holes);
+      if (G && *G == 0)
+        continue; // statically dead: never executes
+    }
+    if (S.WaitCond)
+      return std::nullopt; // a blocking epilogue is outside the fragment
+    std::string Str;
+    if (!renameExpr(P, Holes, S.StaticGuard, Perm, Pos::None, NoGlobal, false,
+                    Str))
+      return std::nullopt;
+    Str += '|';
+    if (!renameExpr(P, Holes, S.DynGuard, Perm, Pos::None, NoGlobal, false,
+                    Str))
+      return std::nullopt;
+    for (const MicroOp &Op : S.Ops) {
+      if (Op.OpKind != MicroOp::Kind::Assert)
+        return std::nullopt; // writes impose order: refuse
+      Str += '|';
+      if (!renameExpr(P, Holes, Op.Pred, Perm, Pos::None, NoGlobal, false,
+                      Str))
+        return std::nullopt;
+      Str += ':';
+      if (!renameExpr(P, Holes, Op.Value, Perm, Pos::None, NoGlobal, false,
+                      Str))
+        return std::nullopt;
+    }
+    Steps.push_back(std::move(Str));
+  }
+  std::sort(Steps.begin(), Steps.end());
+  return Steps;
+}
+
+} // namespace
+
+SymmetryPlan psketch::analysis::inferSymmetry(const Program &P,
+                                              const FlatProgram &FP,
+                                              const HoleAssignment &Holes) {
+  SymmetryPlan Plan;
+  unsigned N = static_cast<unsigned>(FP.Threads.size());
+  Plan.OrbitOf.resize(N);
+  std::iota(Plan.OrbitOf.begin(), Plan.OrbitOf.end(), 0u);
+  Plan.NumOrbits = N;
+  if (N < 2)
+    return Plan;
+  if (N > MaxSymThreads) {
+    Plan.Notes.push_back("symmetry refused: more than " +
+                         std::to_string(MaxSymThreads) +
+                         " threads (enumeration cap)");
+    return Plan;
+  }
+  for (unsigned T = 0; T < N; ++T)
+    if (bodyUsesHeap(FP.Threads[T])) {
+      Plan.Notes.push_back(
+          "symmetry refused: heap-owning thread bodies (allocation order "
+          "names nodes, so thread renaming is not reference-safe)");
+      return Plan;
+    }
+
+  // The epilogue must serialize under the identity before any candidate
+  // is worth trying (pure asserts only).
+  auto IdEpilogue = renamedEpilogue(P, FP, Holes, nullptr);
+  if (!IdEpilogue) {
+    Plan.Notes.push_back(
+        "symmetry refused: epilogue is not a pure assert sequence");
+    return Plan;
+  }
+
+  // Pairwise feasibility pre-pass: an edge t -> u can only appear in an
+  // accepted permutation if the bodies match in isolation. Prunes the N!
+  // enumeration to permutations over compatible edges.
+  std::vector<std::vector<bool>> Compat(N, std::vector<bool>(N, true));
+  for (unsigned T = 0; T < N; ++T)
+    for (unsigned U = 0; U < N; ++U) {
+      if (T == U)
+        continue;
+      PermMatcher M(P, FP, Holes, {}, /*Lenient=*/false);
+      Compat[T][U] = M.matchPair(T, U);
+    }
+
+  std::vector<unsigned> Sigma(N);
+  std::iota(Sigma.begin(), Sigma.end(), 0u);
+  do {
+    bool Identity = true, Feasible = true;
+    for (unsigned T = 0; T < N; ++T) {
+      Identity &= Sigma[T] == T;
+      Feasible &= Sigma[T] == T || Compat[T][Sigma[T]];
+    }
+    if (Identity || !Feasible)
+      continue;
+    PermMatcher M(P, FP, Holes, Sigma, /*Lenient=*/false);
+    if (!M.run())
+      continue;
+    std::optional<ThreadPerm> Perm = M.finalize();
+    if (!Perm)
+      continue;
+    auto Renamed = renamedEpilogue(P, FP, Holes, &*Perm);
+    if (!Renamed || *Renamed != *IdEpilogue)
+      continue;
+    Plan.Perms.push_back(std::move(*Perm));
+  } while (std::next_permutation(Sigma.begin(), Sigma.end()));
+
+  // Orbits: transitive closure over the accepted CtxMap edges.
+  std::vector<unsigned> Parent(N);
+  std::iota(Parent.begin(), Parent.end(), 0u);
+  std::function<unsigned(unsigned)> Find = [&](unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  for (const ThreadPerm &Perm : Plan.Perms)
+    for (unsigned T = 0; T < N; ++T) {
+      unsigned A = Find(T), B = Find(Perm.CtxMap[T]);
+      if (A != B)
+        Parent[B] = A;
+    }
+  std::vector<int> OrbitId(N, -1);
+  unsigned Next = 0;
+  for (unsigned T = 0; T < N; ++T) {
+    unsigned Root = Find(T);
+    if (OrbitId[Root] < 0)
+      OrbitId[Root] = static_cast<int>(Next++);
+    Plan.OrbitOf[T] = static_cast<unsigned>(OrbitId[Root]);
+  }
+  Plan.NumOrbits = Next;
+  if (Plan.nontrivial())
+    Plan.Notes.push_back(
+        "symmetry: " + std::to_string(Plan.Perms.size()) +
+        " automorphism(s) over " + std::to_string(N) + " threads, " +
+        std::to_string(Plan.NumOrbits) + " orbit(s)");
+  return Plan;
+}
+
+std::optional<unsigned>
+psketch::analysis::nearSymmetryDistance(const Program &P,
+                                        const FlatProgram &FP, unsigned A,
+                                        unsigned B) {
+  if (A >= FP.Threads.size() || B >= FP.Threads.size() || A == B)
+    return std::nullopt;
+  if (bodyUsesHeap(FP.Threads[A]) || bodyUsesHeap(FP.Threads[B]))
+    return std::nullopt;
+  HoleAssignment Empty;
+  PermMatcher M(P, FP, Empty, {}, /*Lenient=*/true);
+  if (!M.matchPair(A, B))
+    return std::nullopt;
+  return M.mismatches();
+}

@@ -1,0 +1,111 @@
+//===- analysis/SymmetryInfer.h - Thread-orbit symmetry inference -*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static inference of thread symmetries. Two thread contexts belong to
+/// the same *orbit* when their flattened step sequences are structurally
+/// identical modulo a consistent renaming of the thread-id parameter
+/// (which only surfaces as folded constants: array indices and compared
+/// literals) and of per-context locals, with holes and Choice selectors
+/// required to be shared (same hole id). The pass enumerates candidate
+/// thread permutations, verifies each one as an automorphism of the
+/// flattened transition system, and conservatively *refuses* whenever a
+/// step observes the raw thread id asymmetrically — a folded-constant
+/// mismatch at any position other than a sanctioned one (a global-array
+/// index, which induces a per-array slot permutation, or an Eq/Ne
+/// literal compared against a global read, which induces a per-global
+/// value permutation). See docs/SYMMETRY.md for the rule set and the
+/// soundness argument.
+///
+/// The accepted permutations drive the state canonicalizer in
+/// src/verify/Canon.h: before every visited-table probe the checker maps
+/// the scheduler-relevant state prefix through each accepted
+/// automorphism and keeps the lexicographic minimum, so states that
+/// differ only by a symmetric-thread permutation collapse to one
+/// representative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_SYMMETRYINFER_H
+#define PSKETCH_ANALYSIS_SYMMETRYINFER_H
+
+#include "desugar/Flat.h"
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psketch {
+namespace analysis {
+
+/// One accepted non-identity automorphism of the thread system. All maps
+/// are total and bijective over their domain; empty vectors mean
+/// identity.
+struct ThreadPerm {
+  /// CtxMap[t] = image thread of thread t (size = numThreads).
+  std::vector<unsigned> CtxMap;
+  /// InvCtxMap[CtxMap[t]] = t.
+  std::vector<unsigned> InvCtxMap;
+  /// Per thread t: LocalMap[t][l] = local slot of thread CtxMap[t] that
+  /// plays the role of slot l in thread t (in practice identity, since
+  /// the builders allocate locals in the same order per thread).
+  std::vector<std::vector<unsigned>> LocalMap;
+  /// Per global id: element permutation of that global array (empty =
+  /// identity; always empty for scalars).
+  std::vector<std::vector<unsigned>> SlotMap;
+  /// Per global id: sorted (value, image) pairs describing how stored
+  /// values are renamed (e.g. dinphilo stick-owner ids); values outside
+  /// the map are fixed. dom == range as sets, so the extension by
+  /// identity is a permutation of Z. Empty = identity.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> ValueMap;
+};
+
+/// The result of symmetry inference: the accepted automorphisms plus the
+/// orbit partition they induce (transitive closure over CtxMap edges).
+struct SymmetryPlan {
+  std::vector<ThreadPerm> Perms;
+  /// Per thread: dense orbit id. Size = numThreads (empty when the
+  /// program has no threads).
+  std::vector<unsigned> OrbitOf;
+  unsigned NumOrbits = 0;
+  /// Human-readable acceptance/refusal notes (surfaced by --lint and the
+  /// near-symmetry diagnostic).
+  std::vector<std::string> Notes;
+
+  /// True when at least one non-identity automorphism was proven, i.e.
+  /// canonicalization can merge states.
+  bool nontrivial() const { return !Perms.empty(); }
+};
+
+/// Infers the symmetry plan of \p FP under candidate \p Holes. With a
+/// full assignment, hole-only subexpressions fold first, so candidate
+/// asymmetries (a policy that singles out one thread id) are detected
+/// per candidate; with an empty assignment the match is structural
+/// (shared hole ids), which is what the lint uses. Conservative: any
+/// construct outside the supported fragment (heap allocation, field
+/// access, > 8 threads, non-assert epilogue steps under a non-identity
+/// renaming) refuses the affected permutations or the whole plan.
+SymmetryPlan inferSymmetry(const ir::Program &P, const flat::FlatProgram &FP,
+                           const ir::HoleAssignment &Holes);
+
+/// For the near-symmetry lint: the number of mismatching sites between
+/// thread bodies \p A and \p B under the A<->B transposition renaming
+/// (0 = the pair would share an orbit), or nullopt when the bodies are
+/// structurally incomparable (different shapes, not just different
+/// literals/holes). Matched with an empty hole assignment.
+std::optional<unsigned> nearSymmetryDistance(const ir::Program &P,
+                                             const flat::FlatProgram &FP,
+                                             unsigned A, unsigned B);
+
+} // namespace analysis
+} // namespace psketch
+
+#endif // PSKETCH_ANALYSIS_SYMMETRYINFER_H

@@ -64,6 +64,10 @@ void accumulateCheckerStats(CegisStats &Stats,
   Stats.AmpleStates += Check.AmpleStates;
   Stats.FullExpansions += Check.FullExpansions;
   Stats.SleepSkips += Check.SleepSkips;
+  if (Check.SymmetryOrbits > Stats.SymmetryOrbits)
+    Stats.SymmetryOrbits = Check.SymmetryOrbits;
+  Stats.CanonHits += Check.CanonHits;
+  Stats.CanonTime += Check.CanonTime;
   if (Stats.PerWorkerStates.size() < Check.PerWorkerStates.size())
     Stats.PerWorkerStates.resize(Check.PerWorkerStates.size(), 0);
   for (size_t I = 0; I < Check.PerWorkerStates.size(); ++I)

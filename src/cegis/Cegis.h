@@ -97,6 +97,15 @@ struct CegisStats {
   uint64_t AmpleStates = 0;
   uint64_t FullExpansions = 0;
   uint64_t SleepSkips = 0;
+  /// Symmetry observability (CheckerConfig::Symmetry == Orbit; see
+  /// CheckResult): the max proven orbit count across verifier calls
+  /// (inference reruns per candidate — holes resolve Choice steps, so
+  /// different candidates can prove different groups; max rather than
+  /// sum keeps the value comparable to a single call's), canonical-probe
+  /// hits summed across calls, and inference + compile seconds summed.
+  unsigned SymmetryOrbits = 0;
+  uint64_t CanonHits = 0;
+  double CanonTime = 0.0;
 };
 
 /// A finished run.

@@ -536,3 +536,13 @@ std::string Machine::encodeState(const State &S) const {
 uint64_t Machine::fingerprintState(const State &S) const {
   return hashWords(S.words(), Layout.SchedWords);
 }
+
+std::string Machine::encodeWords(const int64_t *Words) const {
+  return std::string(reinterpret_cast<const char *>(Words),
+                     static_cast<size_t>(Layout.SchedWords) *
+                         sizeof(int64_t));
+}
+
+uint64_t Machine::fingerprintWords(const int64_t *Words) const {
+  return hashWords(Words, Layout.SchedWords);
+}

@@ -122,6 +122,13 @@ public:
   /// encodeState keys (support/Hash.h): the Fingerprint-mode visited key.
   uint64_t fingerprintState(const State &S) const;
 
+  /// encodeState / fingerprintState over an externally supplied word
+  /// buffer of schedWords() words — the symmetry canonicalizer hands the
+  /// visited tables a canonical image rather than the live state
+  /// (verify/Canon.h), and these route its keys through the same paths.
+  std::string encodeWords(const int64_t *Words) const;
+  uint64_t fingerprintWords(const int64_t *Words) const;
+
   /// \returns the flat-state layout this machine's states share.
   const StateLayout &layout() const { return Layout; }
 

@@ -8,10 +8,12 @@
 
 #include "support/Rng.h"
 #include "support/StrUtil.h"
+#include "verify/Canon.h"
 #include "verify/SearchCore.h"
 #include "verify/Visited.h"
 
 #include <cassert>
+#include <memory>
 #include <thread>
 #include <unordered_map>
 
@@ -47,15 +49,47 @@ namespace {
 class Checker {
 public:
   Checker(const Machine &M, const CheckerConfig &Cfg, bool UseFalsifier)
-      : M(M), Cfg(Cfg), UseFalsifier(UseFalsifier), Visited(Cfg) {}
+      : M(M), Cfg(Cfg), UseFalsifier(UseFalsifier), Canon(makeCanon(M, Cfg)),
+        Visited(Cfg, &hashWords,
+                Canon && Canon->active() ? Canon.get() : nullptr) {}
 
   CheckResult run();
 
 private:
+  /// The three search phases; run() wraps it to stamp the symmetry
+  /// counters onto whichever Result it produced.
+  CheckResult runSearch();
+
+  /// Symmetry setup: under SymmetryMode::Orbit the canonicalizer is
+  /// built per candidate (inference + table compilation, the cost
+  /// surfaced as CanonTime); it is attached to the visited table only
+  /// when a non-trivial orbit was proven.
+  static std::unique_ptr<Canonicalizer> makeCanon(const Machine &M,
+                                                  const CheckerConfig &Cfg) {
+    if (Cfg.Symmetry != SymmetryMode::Orbit)
+      return nullptr;
+    return std::make_unique<Canonicalizer>(M);
+  }
+
+  /// Canonical state fingerprint for the DFS OnStack set. Under an
+  /// active symmetry the cycle proviso must run in quotient-graph
+  /// coordinates: a reduced expansion whose successor is a symmetric
+  /// image of a stack state closes a quotient cycle even though the raw
+  /// states differ, so the OnStack key has to be the canonical
+  /// fingerprint the visited table deduped on (docs/SYMMETRY.md).
+  uint64_t stateFp(const State &S) const {
+    if (Canon && Canon->active()) {
+      unsigned PermIdx = Canonicalizer::IdentityPerm;
+      return M.fingerprintWords(Canon->canonicalize(S.words(), PermIdx));
+    }
+    return M.fingerprintState(S);
+  }
+
   const Machine &M;
   const CheckerConfig &Cfg;
   bool UseFalsifier;
   CheckResult Result;
+  std::unique_ptr<Canonicalizer> Canon; ///< before Visited: it aliases this
   detail::VisitedTable Visited;
 
   /// Exhaustive DFS, legacy copy-per-successor loop (UseUndoLog=false).
@@ -330,7 +364,7 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
       return false;
     uint64_t Fp = 0;
     if (Ample) {
-      Fp = M.fingerprintState(S);
+      Fp = stateFp(S);
       if (!Stack.empty() && Stack.back().Por.Reduced && OnStack.count(Fp))
         upgradeToFull(Stack.back().Por, Stack.back().Choices, Result);
     }
@@ -454,7 +488,7 @@ bool Checker::dfsUndo(const State &Start, Counterexample &Cex) {
       return false;
     uint64_t Fp = 0;
     if (Ample) {
-      Fp = M.fingerprintState(S);
+      Fp = stateFp(S);
       if (!Stack.empty() && Stack.back().Por.Reduced && OnStack.count(Fp))
         upgradeToFull(Stack.back().Por, Stack.back().Choices, Result);
     }
@@ -550,6 +584,16 @@ bool Checker::dfsUndo(const State &Start, Counterexample &Cex) {
 }
 
 CheckResult Checker::run() {
+  runSearch();
+  if (Canon) {
+    Result.SymmetryOrbits = Canon->numOrbits();
+    Result.CanonHits = Canon->canonHits();
+    Result.CanonTime = Canon->buildSeconds();
+  }
+  return Result;
+}
+
+CheckResult Checker::runSearch() {
   // Phase 1: the deterministic prologue.
   State S0 = M.initialState();
   {
@@ -589,15 +633,21 @@ CheckResult Checker::run() {
   if (!Clean) {
     Result.Ok = false;
     Result.Cex = std::move(Cex);
-    // An ample-mode trace is an artifact of the reduced graph; re-derive
-    // the canonical Local-mode trace so Ample reports the same
-    // counterexample Local would (reproducibility contract, docs/POR.md).
-    // The falsifier phase needs no re-run: single schedules are identical
-    // under Local and Ample, and it ran before this search anyway.
-    if (Cfg.Por == PorMode::Ample && Cfg.DeterministicCex) {
-      CheckerConfig Canon = Cfg;
-      Canon.Por = PorMode::Local;
-      CheckResult Seq = detail::checkCandidateSequential(M, Canon, false);
+    // An ample-mode trace is an artifact of the reduced graph, and an
+    // active symmetry can likewise change which violation the search
+    // reaches first (orbit merging prunes subtrees); re-derive the
+    // canonical trace with both reductions relaxed so every mode reports
+    // the same counterexample (reproducibility contract; docs/POR.md and
+    // docs/SYMMETRY.md). The falsifier phase needs no re-run: single
+    // schedules are identical under Local and Ample, and it ran before
+    // this search anyway.
+    bool SymActive = Canon && Canon->active();
+    if ((Cfg.Por == PorMode::Ample || SymActive) && Cfg.DeterministicCex) {
+      CheckerConfig ReCfg = Cfg;
+      if (ReCfg.Por == PorMode::Ample)
+        ReCfg.Por = PorMode::Local;
+      ReCfg.Symmetry = SymmetryMode::Off;
+      CheckResult Seq = detail::checkCandidateSequential(M, ReCfg, false);
       Result.StatesExplored += Seq.StatesExplored;
       Result.StatesDeduped += Seq.StatesDeduped;
       Result.FingerprintCollisions += Seq.FingerprintCollisions;

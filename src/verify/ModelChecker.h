@@ -61,6 +61,15 @@
 ///    worker count can vary across runs (the cycle-proviso probe races
 ///    against insertion), which is why the POR agreement gates compare
 ///    verdicts, never state counts.
+///  * SymmetryMode::Orbit (the default) keeps every clause: search states
+///    stay raw (only visited-table probe keys are canonicalized), so
+///    every reported trace is a real execution, and a violation found
+///    under an active symmetry is (with DeterministicCex) re-derived
+///    with Symmetry == Off — symmetry pruning, like ample reduction, can
+///    change which violation a search reaches first, and the
+///    re-derivation restores the canonical trace. Verdicts agree with
+///    Off by the automorphism argument in docs/SYMMETRY.md; state counts
+///    shrink by up to the orbit size.
 ///  * VisitedMode::Fingerprint keeps both clauses, with one asterisk: if
 ///    two distinct states genuinely collide in 64 bits (probability
 ///    ~n^2/2^65, measurable via AuditFingerprints), which of the two the
@@ -118,11 +127,29 @@ enum class VisitedMode : uint8_t { Exact, Fingerprint };
 /// maps to Off, `true` to Local.
 enum class PorMode : uint8_t { Off, Local, Ample };
 
+/// Symmetry reduction (docs/SYMMETRY.md). Orthogonal to and composable
+/// with PorMode: POR prunes interleavings, symmetry prunes states.
+///  * Off: every state is its own visited-table key.
+///  * Orbit (default): the checker runs the static symmetry inference
+///    (analysis/SymmetryInfer.h) on the candidate; when it proves a
+///    non-trivial thread orbit, every visited-table probe keys on the
+///    lexicographically minimal image of the state under the accepted
+///    automorphisms (verify/Canon.h), so states differing only by a
+///    symmetric-thread permutation collapse to one representative. When
+///    the inference refuses (asymmetric candidate, heap-owning bodies,
+///    > 8 threads), Orbit behaves exactly like Off.
+enum class SymmetryMode : uint8_t { Off, Orbit };
+
 /// Tuning knobs for the checker.
 struct CheckerConfig {
   bool UseRandomFalsifier = true; ///< try random schedules before DFS
   unsigned RandomRuns = 64;       ///< how many random schedules
   PorMode Por = PorMode::Ample;   ///< partial-order reduction (see enum)
+  /// Symmetry reduction (see the SymmetryMode doc). Defaults to Orbit:
+  /// canonicalization engages automatically whenever the inference
+  /// proves a non-trivial orbit for the candidate, and is a no-op
+  /// otherwise.
+  SymmetryMode Symmetry = SymmetryMode::Orbit;
   SearchOrder Order = SearchOrder::Dfs;
   uint64_t MaxStates = 4000000;   ///< exploration safety net
   uint64_t Seed = 1;              ///< random falsifier seed
@@ -194,6 +221,16 @@ struct CheckResult {
   uint64_t AmpleStates = 0;
   uint64_t FullExpansions = 0;
   uint64_t SleepSkips = 0;
+  /// Symmetry observability (SymmetryMode::Orbit; all zero otherwise).
+  /// Thread orbits the inference proved for this candidate (0 = the
+  /// inference did not run; numThreads = it ran but refused everything);
+  /// visited-table probes whose canonical key came from a non-identity
+  /// automorphism; and the per-candidate setup cost in seconds
+  /// (inference plus permutation-table compilation — probes themselves
+  /// are not timed).
+  unsigned SymmetryOrbits = 0;
+  uint64_t CanonHits = 0;
+  double CanonTime = 0;
 };
 
 /// Model-checks one candidate (a Machine is a program plus a hole

@@ -30,6 +30,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "verify/Canon.h"
 #include "verify/ModelChecker.h"
 #include "verify/SearchCore.h"
 #include "verify/Visited.h"
@@ -38,6 +39,7 @@
 #include <cassert>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -93,6 +95,10 @@ struct SearchShared {
   const Machine &M;
   const CheckerConfig &Cfg;
 
+  /// Symmetry canonicalizer (null when off or the inference refused);
+  /// declared before Visited, which aliases it. Canonicalization happens
+  /// outside the shard locks (verify/Visited.h), so workers share one.
+  std::unique_ptr<Canonicalizer> Canon;
   detail::ShardedVisited Visited;
   std::atomic<uint64_t> StatesExplored{0};
   std::atomic<uint64_t> StatesDeduped{0};
@@ -106,7 +112,12 @@ struct SearchShared {
   std::optional<Counterexample> BestCex; ///< canonical-min among found
 
   explicit SearchShared(const Machine &M, const CheckerConfig &Cfg)
-      : M(M), Cfg(Cfg), Visited(Cfg) {}
+      : M(M), Cfg(Cfg),
+        Canon(Cfg.Symmetry == SymmetryMode::Orbit
+                  ? std::make_unique<Canonicalizer>(M)
+                  : nullptr),
+        Visited(Cfg, &hashWords,
+                Canon && Canon->active() ? Canon.get() : nullptr) {}
 
   /// Records a violation (keeping the canonical-minimal trace) and
   /// cancels the search.
@@ -374,6 +385,11 @@ CheckResult psketch::verify::detail::checkCandidateParallel(
   Result.Exhausted = Shared.Exhausted.load();
   Result.FingerprintCollisions = Shared.Visited.collisions();
   Result.VisitedBytes = Shared.Visited.keyBytes();
+  if (Shared.Canon) {
+    Result.SymmetryOrbits = Shared.Canon->numOrbits();
+    Result.CanonHits = Shared.Canon->canonHits();
+    Result.CanonTime = Shared.Canon->buildSeconds();
+  }
 
   std::optional<Counterexample> Found = std::move(Shared.BestCex);
   if (!Found) {
@@ -391,10 +407,15 @@ CheckResult psketch::verify::detail::checkCandidateParallel(
     // artifacts of the reduced graph, and the Local rerun is exactly
     // what the sequential ample engine itself re-derives with, so the
     // canonical trace is also independent of the reduction (docs/POR.md).
-    CheckerConfig Canon = Cfg;
-    if (Canon.Por == PorMode::Ample)
-      Canon.Por = PorMode::Local;
-    CheckResult Seq = detail::checkCandidateSequential(M, Canon, false);
+    // Symmetry is switched off for the same reason: canonical merging
+    // changes which violation the search reaches first, and the rerun
+    // over the raw graph makes the trace independent of the quotient
+    // (docs/SYMMETRY.md).
+    CheckerConfig ReCfg = Cfg;
+    if (ReCfg.Por == PorMode::Ample)
+      ReCfg.Por = PorMode::Local;
+    ReCfg.Symmetry = SymmetryMode::Off;
+    CheckResult Seq = detail::checkCandidateSequential(M, ReCfg, false);
     Result.StatesExplored += Seq.StatesExplored;
     Result.StatesDeduped += Seq.StatesDeduped;
     Result.FingerprintCollisions += Seq.FingerprintCollisions;

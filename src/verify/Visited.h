@@ -28,6 +28,15 @@
 /// the woken transitions B \ T and the stored mask shrinks to the
 /// intersection — strictly, so re-expansion terminates.
 ///
+/// Symmetry (CheckerConfig::Symmetry, docs/SYMMETRY.md): when a
+/// Canonicalizer is attached, both tables key on the canonical image of
+/// the state — computed here, *before* any fingerprinting, sharding, or
+/// sleep-mask comparison, so all of those operate in canonical
+/// coordinates. Sleep masks are per-thread bitsets in raw coordinates;
+/// the chosen automorphism's CtxMap translates them into canonical
+/// coordinates on the way in and back out on Wake, which is what makes
+/// mask subset checks across symmetric revisits meaningful.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSKETCH_VERIFY_VISITED_H
@@ -35,6 +44,7 @@
 
 #include "exec/Machine.h"
 #include "support/Hash.h"
+#include "verify/Canon.h"
 #include "verify/ModelChecker.h"
 
 #include <mutex>
@@ -165,41 +175,61 @@ private:
 class VisitedTable {
 public:
   explicit VisitedTable(const CheckerConfig &Cfg,
-                        StateHashFn Hash = &hashWords)
+                        StateHashFn Hash = &hashWords,
+                        const Canonicalizer *Canon = nullptr)
       : Mode(Cfg.Visited), Audit(Cfg.AuditFingerprints),
-        AuditBudget(Cfg.AuditBudget), Hash(Hash) {}
+        AuditBudget(Cfg.AuditBudget), Hash(Hash), Canon(Canon) {}
 
   /// \returns true when \p S was newly inserted.
   bool insert(const exec::Machine &M, const exec::State &S) {
-    return Cell.insert(Mode, Audit, AuditBudget, fp(M, S),
-                       [&] { return M.encodeState(S); });
+    unsigned PermIdx = Canonicalizer::IdentityPerm;
+    const int64_t *W = keyWords(S, PermIdx);
+    return Cell.insert(Mode, Audit, AuditBudget, fp(M, W),
+                       [&] { return M.encodeWords(W); });
   }
 
-  /// Mask-aware insert for the sleep-set DFS (file comment).
+  /// Mask-aware insert for the sleep-set DFS (file comment). Sleep/wake
+  /// masks are in raw thread coordinates; translation through the chosen
+  /// automorphism happens here.
   InsertOutcome insertMask(const exec::Machine &M, const exec::State &S,
                            uint64_t Sleep, uint64_t &WakeOut) {
-    return Cell.insertMask(Mode, Audit, AuditBudget, fp(M, S), Sleep,
-                           WakeOut, [&] { return M.encodeState(S); });
+    unsigned PermIdx = Canonicalizer::IdentityPerm;
+    const int64_t *W = keyWords(S, PermIdx);
+    uint64_t CSleep =
+        Canon ? Canon->maskToCanonical(PermIdx, Sleep) : Sleep;
+    uint64_t CWake = 0;
+    InsertOutcome Out =
+        Cell.insertMask(Mode, Audit, AuditBudget, fp(M, W), CSleep, CWake,
+                        [&] { return M.encodeWords(W); });
+    if (Out == InsertOutcome::Wake)
+      WakeOut = Canon ? Canon->maskFromCanonical(PermIdx, CWake) : CWake;
+    return Out;
   }
 
   /// True when \p S is already in the table (no insertion).
   bool contains(const exec::Machine &M, const exec::State &S) const {
-    return Cell.contains(Mode, fp(M, S), [&] { return M.encodeState(S); });
+    unsigned PermIdx = Canonicalizer::IdentityPerm;
+    const int64_t *W = keyWords(S, PermIdx);
+    return Cell.contains(Mode, fp(M, W), [&] { return M.encodeWords(W); });
   }
 
   uint64_t collisions() const { return Cell.collisions(); }
   uint64_t keyBytes() const { return Cell.keyBytes(); }
 
 private:
-  uint64_t fp(const exec::Machine &M, const exec::State &S) const {
-    return Mode == VisitedMode::Fingerprint ? Hash(S.words(), M.schedWords())
-                                            : 0;
+  const int64_t *keyWords(const exec::State &S, unsigned &PermIdx) const {
+    return Canon ? Canon->canonicalize(S.words(), PermIdx) : S.words();
+  }
+
+  uint64_t fp(const exec::Machine &M, const int64_t *Words) const {
+    return Mode == VisitedMode::Fingerprint ? Hash(Words, M.schedWords()) : 0;
   }
 
   VisitedMode Mode;
   bool Audit;
   uint64_t AuditBudget;
   StateHashFn Hash;
+  const Canonicalizer *Canon;
   VisitedCell Cell;
 };
 
@@ -211,29 +241,40 @@ private:
 class ShardedVisited {
 public:
   explicit ShardedVisited(const CheckerConfig &Cfg,
-                          StateHashFn Hash = &hashWords)
+                          StateHashFn Hash = &hashWords,
+                          const Canonicalizer *Canon = nullptr)
       : Mode(Cfg.Visited), Audit(Cfg.AuditFingerprints),
-        AuditBudget(Cfg.AuditBudget / NumShards + 1), Hash(Hash) {}
+        AuditBudget(Cfg.AuditBudget / NumShards + 1), Hash(Hash),
+        Canon(Canon) {}
 
   /// \returns true when \p S was newly inserted. Check-and-insert is
-  /// atomic per shard.
+  /// atomic per shard. The canonical image (and its fingerprint, which
+  /// picks the shard) is computed outside the shard lock.
   bool insert(const exec::Machine &M, const exec::State &S) {
-    uint64_t Fp = Hash(S.words(), M.schedWords());
+    unsigned PermIdx = Canonicalizer::IdentityPerm;
+    const int64_t *W = Canon ? Canon->canonicalize(S.words(), PermIdx)
+                             : S.words();
+    uint64_t Fp = Hash(W, M.schedWords());
     ShardT &Shard = Shards[Fp & (NumShards - 1)];
     std::lock_guard<std::mutex> Lock(Shard.Mu);
     return Shard.Cell.insert(Mode, Audit, AuditBudget, Fp,
-                             [&] { return M.encodeState(S); });
+                             [&] { return M.encodeWords(W); });
   }
 
   /// True when \p S is already in the table. Used by the parallel ample
   /// engine's cycle-proviso probe: insertion happens-before expansion
   /// under the shard mutex, so the last-expanded state on any reduced
   /// cycle is guaranteed to see its successor here (docs/POR.md).
+  /// Canonicalization keeps that argument intact: both the insert and
+  /// the probe key on the same canonical image.
   bool contains(const exec::Machine &M, const exec::State &S) const {
-    uint64_t Fp = Hash(S.words(), M.schedWords());
+    unsigned PermIdx = Canonicalizer::IdentityPerm;
+    const int64_t *W = Canon ? Canon->canonicalize(S.words(), PermIdx)
+                             : S.words();
+    uint64_t Fp = Hash(W, M.schedWords());
     const ShardT &Shard = Shards[Fp & (NumShards - 1)];
     std::lock_guard<std::mutex> Lock(Shard.Mu);
-    return Shard.Cell.contains(Mode, Fp, [&] { return M.encodeState(S); });
+    return Shard.Cell.contains(Mode, Fp, [&] { return M.encodeWords(W); });
   }
 
   uint64_t collisions() const {
@@ -263,6 +304,7 @@ private:
   bool Audit;
   uint64_t AuditBudget;
   StateHashFn Hash;
+  const Canonicalizer *Canon;
   ShardT Shards[NumShards];
 };
 
