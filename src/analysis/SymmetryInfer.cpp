@@ -108,6 +108,8 @@ public:
     size_t NumGlobals = P.globals().size();
     SlotCon.resize(NumGlobals);
     ValCon.resize(NumGlobals);
+    SlotFixed.resize(NumGlobals);
+    ValFixed.resize(NumGlobals);
     GeneralRead.assign(NumGlobals, false);
     NonConstWrite.assign(NumGlobals, false);
     NonConstIndex.assign(NumGlobals, false);
@@ -118,14 +120,16 @@ public:
   }
 
   /// Matches every thread body against its image. \returns false on a
-  /// hard (shape) failure or, in strict mode, on any mismatch.
+  /// hard (shape) failure or, in strict mode, on any mismatch. Fixed
+  /// threads self-match: that contributes no renaming entries, but it
+  /// does record their discipline facts — general reads, dynamic writes
+  /// and indices, and the slots/values they touch (which must be fixed
+  /// points of rho/V) — so a permutation whose induced maps move state a
+  /// fixed thread observes is refused in finalize().
   bool run() {
-    for (unsigned T = 0; T < CtxMap.size(); ++T) {
-      if (CtxMap[T] == T)
-        continue; // a fixed thread matches itself trivially
+    for (unsigned T = 0; T < CtxMap.size(); ++T)
       if (!matchPair(T, CtxMap[T]))
         return false;
-    }
     return true;
   }
 
@@ -205,6 +209,14 @@ public:
         // map is still a permutation of the value space.
         if (Dom != Range)
           return std::nullopt;
+        // Values some match (notably a fixed thread's self-match)
+        // observed on both sides must be fixed points of V. dom == range
+        // plus injectivity reduce that to "not mapped elsewhere".
+        for (int64_t C : ValFixed[G]) {
+          auto It = ValCon[G].find(C);
+          if (It != ValCon[G].end() && It->second != C)
+            return std::nullopt;
+        }
         Perm.ValueMap[G].assign(ValCon[G].begin(), ValCon[G].end());
       }
       if (!SlotCon[G].empty()) {
@@ -216,6 +228,21 @@ public:
         for (const auto &KV : SlotCon[G]) {
           Map[static_cast<size_t>(KV.first)] = static_cast<int>(KV.second);
           Used[static_cast<size_t>(KV.second)] = true;
+        }
+        // Slots both sides of some match touch at the same position must
+        // stay fixed — pin them before the completion loop below can
+        // hand their (free) image to an unconstrained slot.
+        for (int64_t K : SlotFixed[G]) {
+          auto Idx = static_cast<size_t>(K);
+          if (Map[Idx] >= 0) {
+            if (Map[Idx] != K)
+              return std::nullopt;
+            continue;
+          }
+          if (Used[Idx])
+            return std::nullopt; // another slot already claims this image
+          Map[Idx] = static_cast<int>(K);
+          Used[Idx] = true;
         }
         for (unsigned I = 0; I < Size; ++I) {
           if (Map[I] >= 0)
@@ -306,8 +333,17 @@ private:
     auto VA = tryEvalStatic(P, A, Holes);
     auto VB = tryEvalStatic(P, B, Holes);
     if (VA && VB) {
-      if (*VA == *VB)
+      if (*VA == *VB) {
+        // Both bodies touch the *same* slot/value here (always the case
+        // for a fixed thread matching itself), so it must be a fixed
+        // point of rho/V — recorded now, enforced in finalize().
+        if (PosKind == Pos::Index && PosG != NoGlobal && *VA >= 0 &&
+            *VA < static_cast<int64_t>(P.globals()[PosG].ArraySize))
+          SlotFixed[PosG].insert(*VA);
+        else if (PosKind == Pos::Value && PosG != NoGlobal)
+          ValFixed[PosG].insert(*VA);
         return true;
+      }
       if (PosKind == Pos::Index)
         return addSlotCon(PosG, *VA, *VB);
       if (PosKind == Pos::Value)
@@ -475,6 +511,10 @@ private:
   /// Per global: partial slot / value maps plus the discipline facts.
   std::vector<std::map<int64_t, int64_t>> SlotCon;
   std::vector<std::map<int64_t, int64_t>> ValCon;
+  /// Per global: slots / values both sides of some match touch equally,
+  /// which the finalized maps must therefore fix.
+  std::vector<std::set<int64_t>> SlotFixed;
+  std::vector<std::set<int64_t>> ValFixed;
   std::vector<bool> GeneralRead;   ///< read outside a disciplined Eq/Ne
   std::vector<bool> NonConstWrite; ///< value written that does not fold
   std::vector<bool> NonConstIndex; ///< array indexed by a dynamic expr
@@ -532,6 +572,12 @@ bool renameExpr(const Program &P, const HoleAssignment &Holes, ExprRef E,
     Out += std::to_string(X);
     return true;
   }
+  // A dynamic (non-folding) index into a slot-permuted array: rho would
+  // have to commute with an arbitrary runtime value, which the
+  // serializer cannot witness — the permutation is refused.
+  if (Perm && PosKind == Pos::Index && PosG != NoGlobal &&
+      !Perm->SlotMap[PosG].empty())
+    return false;
   switch (E->Kind) {
   case ExprKind::GlobalRead:
     if (Perm && !Perm->ValueMap[E->Id].empty() && !UnderEqNe)
@@ -578,15 +624,22 @@ bool renameExpr(const Program &P, const HoleAssignment &Holes, ExprRef E,
   case ExprKind::Ne: {
     unsigned C0 = singleReadClass(E->Ops[0]);
     unsigned C1 = singleReadClass(E->Ops[1]);
+    // A read of a value-mapped global is sanctioned only when the other
+    // side folds to a literal (which then serializes through V) —
+    // matching PermMatcher's ReadSanctioned. Comparing against a
+    // non-constant (say another global) would serialize identically
+    // under identity and V, hiding the relabeling.
+    bool F0 = tryEvalStatic(P, E->Ops[0], Holes).has_value();
+    bool F1 = tryEvalStatic(P, E->Ops[1], Holes).has_value();
     Out += E->Kind == ExprKind::Eq ? "==(" : "!=(";
     if (!renameExpr(P, Holes, E->Ops[0], Perm,
                     C1 != NoGlobal ? Pos::Value : Pos::None, C1,
-                    C0 != NoGlobal, Out))
+                    C0 != NoGlobal && F1, Out))
       return false;
     Out += ',';
     if (!renameExpr(P, Holes, E->Ops[1], Perm,
                     C0 != NoGlobal ? Pos::Value : Pos::None, C0,
-                    C1 != NoGlobal, Out))
+                    C1 != NoGlobal && F0, Out))
       return false;
     Out += ')';
     return true;

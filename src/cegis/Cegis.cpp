@@ -64,7 +64,12 @@ void accumulateCheckerStats(CegisStats &Stats,
   Stats.AmpleStates += Check.AmpleStates;
   Stats.FullExpansions += Check.FullExpansions;
   Stats.SleepSkips += Check.SleepSkips;
-  if (Check.SymmetryOrbits > Stats.SymmetryOrbits)
+  // Minimum over calls where inference ran (0 = Symmetry Off): a refused
+  // candidate reports numThreads (all-singleton orbits), so max-ing would
+  // let one refusal permanently mask the symmetry other candidates proved.
+  if (Check.SymmetryOrbits != 0 &&
+      (Stats.SymmetryOrbits == 0 ||
+       Check.SymmetryOrbits < Stats.SymmetryOrbits))
     Stats.SymmetryOrbits = Check.SymmetryOrbits;
   Stats.CanonHits += Check.CanonHits;
   Stats.CanonTime += Check.CanonTime;

@@ -98,11 +98,13 @@ struct CegisStats {
   uint64_t FullExpansions = 0;
   uint64_t SleepSkips = 0;
   /// Symmetry observability (CheckerConfig::Symmetry == Orbit; see
-  /// CheckResult): the max proven orbit count across verifier calls
+  /// CheckResult): the min orbit count across verifier calls where
+  /// inference ran, i.e. the strongest symmetry any candidate proved
   /// (inference reruns per candidate — holes resolve Choice steps, so
-  /// different candidates can prove different groups; max rather than
-  /// sum keeps the value comparable to a single call's), canonical-probe
-  /// hits summed across calls, and inference + compile seconds summed.
+  /// different candidates can prove different groups, and a refused
+  /// candidate reports numThreads, which min keeps from masking real
+  /// reductions), canonical-probe hits summed across calls, and
+  /// inference + compile seconds summed.
   unsigned SymmetryOrbits = 0;
   uint64_t CanonHits = 0;
   double CanonTime = 0.0;

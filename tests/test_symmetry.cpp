@@ -206,6 +206,99 @@ TEST(SymmetryInfer, AsymmetricThreadIdObservationIsRefused) {
     }
 }
 
+TEST(SymmetryInfer, FixedThreadObservingMappedStateIsRefused) {
+  // A thread every candidate permutation fixes (its body shape is unique)
+  // still observes state the induced renamings move; its body must feed
+  // the same discipline checks as the permuted threads', or swap(1,2)
+  // below is accepted without being an automorphism.
+  {
+    // The monitor copies the value-mapped global into g3. swap(1,2)
+    // induces V_g2 = {6<->7}; the monitor's general (non-Eq/Ne) read of
+    // g2 must refuse it.
+    Program P;
+    unsigned G2 = P.addGlobal("g2", Type::Int, 0);
+    unsigned G3 = P.addGlobal("g3", Type::Int, 0);
+    unsigned M = P.addThread("mon");
+    P.setRoot(BodyId::thread(M), P.assign(P.locGlobal(G3), P.global(G2)));
+    for (int64_t T = 1; T <= 2; ++T) {
+      unsigned Id = P.addThread("t");
+      P.setRoot(BodyId::thread(Id),
+                P.assign(P.locGlobal(G2), P.constInt(5 + T)));
+    }
+    P.setRoot(BodyId::epilogue(),
+              P.assertS(P.eq(P.constInt(0), P.constInt(0)), "triv"));
+    flat::FlatProgram FP = flat::flatten(P);
+    analysis::SymmetryPlan Plan =
+        analysis::inferSymmetry(P, FP, ir::HoleAssignment{});
+    EXPECT_TRUE(Plan.Perms.empty());
+  }
+  {
+    // The monitor writes array slot 1, which swap(1,2)'s slot map moves:
+    // slot 1 must be a fixed point of rho_a, so the swap is refused.
+    Program P;
+    unsigned G = P.addGlobal("g", Type::Int, 0);
+    unsigned A = P.addGlobalArray("a", Type::Int, 3, 0);
+    unsigned M = P.addThread("mon");
+    P.setRoot(
+        BodyId::thread(M),
+        P.seq({P.assign(P.locGlobal(G), P.add(P.global(G), P.constInt(1))),
+               P.assign(P.locGlobalAt(A, P.constInt(1)), P.constInt(1))}));
+    for (int64_t T = 1; T <= 2; ++T) {
+      unsigned Id = P.addThread("t");
+      P.setRoot(BodyId::thread(Id),
+                P.assign(P.locGlobalAt(A, P.constInt(T)), P.constInt(1)));
+    }
+    P.setRoot(BodyId::epilogue(),
+              P.assertS(P.eq(P.constInt(0), P.constInt(0)), "triv"));
+    flat::FlatProgram FP = flat::flatten(P);
+    analysis::SymmetryPlan Plan =
+        analysis::inferSymmetry(P, FP, ir::HoleAssignment{});
+    EXPECT_TRUE(Plan.Perms.empty());
+  }
+}
+
+TEST(SymmetryInfer, EpilogueObservationsOutsideTheFragmentAreRefused) {
+  {
+    // A dynamic (non-folding) subscript of a slot-permuted array: rho_a
+    // cannot be shown to commute with a runtime index, so the swap that
+    // induces rho_a = {0<->1} must be refused.
+    Program P;
+    unsigned Idx = P.addGlobal("idx", Type::Int, 0);
+    unsigned A = P.addGlobalArray("a", Type::Int, 2, 0);
+    for (int64_t T = 0; T < 2; ++T) {
+      unsigned Id = P.addThread("t");
+      P.setRoot(BodyId::thread(Id),
+                P.assign(P.locGlobalAt(A, P.constInt(T)), P.constInt(1)));
+    }
+    P.setRoot(BodyId::epilogue(),
+              P.assertS(P.eq(P.globalAt(A, P.global(Idx)), P.constInt(1)),
+                        "dyn"));
+    flat::FlatProgram FP = flat::flatten(P);
+    analysis::SymmetryPlan Plan =
+        analysis::inferSymmetry(P, FP, ir::HoleAssignment{});
+    EXPECT_TRUE(Plan.Perms.empty());
+  }
+  {
+    // An Eq against a non-constant does not sanction a value-mapped
+    // read: g2 == g3 serializes identically under identity and V_g2, so
+    // multiset equality would hide the relabeling — refuse instead.
+    Program P;
+    unsigned G2 = P.addGlobal("g2", Type::Int, 0);
+    unsigned G3 = P.addGlobal("g3", Type::Int, 0);
+    for (int64_t T = 0; T < 2; ++T) {
+      unsigned Id = P.addThread("t");
+      P.setRoot(BodyId::thread(Id),
+                P.assign(P.locGlobal(G2), P.constInt(5 + T)));
+    }
+    P.setRoot(BodyId::epilogue(),
+              P.assertS(P.eq(P.global(G2), P.global(G3)), "cmp"));
+    flat::FlatProgram FP = flat::flatten(P);
+    analysis::SymmetryPlan Plan =
+        analysis::inferSymmetry(P, FP, ir::HoleAssignment{});
+    EXPECT_TRUE(Plan.Perms.empty());
+  }
+}
+
 TEST(SymmetryInfer, HeapUsingProgramIsRefused) {
   auto E = lightestRow("queueE1");
   ASSERT_TRUE(E.has_value());
