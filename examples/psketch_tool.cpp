@@ -5,7 +5,8 @@
 //
 // Usage: psketch_tool [--lint] [--no-prescreen] [--jobs N] [--seed S]
 //                     [--visited exact|fingerprint] [--por off|local|ample]
-//                     [--symmetry on|off] [--stats] [file.psk ...]
+//                     [--symmetry on|off] [--absint on|off] [--stats]
+//                     [file.psk ...]
 //
 // Default mode parses one mini-PSketch source file, runs concurrent CEGIS
 // (with the static pre-screen analyzer unless --no-prescreen), and prints
@@ -22,7 +23,11 @@
 // docs/POR.md; verdicts are identical in all three modes); --symmetry
 // toggles symmetry reduction (on, the default, proves thread orbits
 // statically and canonicalizes states — see docs/SYMMETRY.md; verdicts
-// are identical either way); --stats prints the checker's observability
+// are identical either way); --absint toggles the per-candidate
+// thread-modular abstract interpreter (on, the default, interval-refutes
+// candidates without verifier calls and tunes the Machine with proven
+// bounds and locksets — see docs/ANALYSIS.md; verdicts are identical
+// either way); --stats prints the checker's observability
 // counters in one aligned block after the run. Bad values are typed
 // diagnostics with a nonzero exit, like every other usage error.
 //
@@ -218,6 +223,24 @@ bool parseSymmetry(const char *Text, verify::SymmetryMode &Out) {
   return false;
 }
 
+/// Parses the --absint mode argument. \returns false after printing a
+/// typed diagnostic when the value is missing or not a known mode.
+bool parseAbsInt(const char *Text, bool &Out) {
+  if (Text && std::strcmp(Text, "on") == 0) {
+    Out = true;
+    return true;
+  }
+  if (Text && std::strcmp(Text, "off") == 0) {
+    Out = false;
+    return true;
+  }
+  printDiag({analysis::Severity::Error, "cli",
+             std::string("--absint: bad value '") + (Text ? Text : "") +
+                 "' (expected 'on' or 'off')",
+             ""});
+  return false;
+}
+
 /// --stats: the checker/CEGIS observability counters, one aligned block.
 void printStats(const cegis::CegisStats &S) {
   std::printf("stats:\n");
@@ -233,6 +256,12 @@ void printStats(const cegis::CegisStats &S) {
   std::printf("  %-20s %llu\n", "CanonHits",
               static_cast<unsigned long long>(S.CanonHits));
   std::printf("  %-20s %.4fs\n", "CanonTime", S.CanonTime);
+  std::printf("  %-20s %llu\n", "IntervalPrunes",
+              static_cast<unsigned long long>(S.IntervalPrunes));
+  std::printf("  %-20s %u\n", "RaceWarnings", S.RaceWarnings);
+  std::printf("  %-20s %u\n", "TightenedBits", S.TightenedBits);
+  std::printf("  %-20s %llu\n", "LockIndepPairs",
+              static_cast<unsigned long long>(S.LockIndepPairs));
 }
 
 /// Parses the --visited mode argument. \returns false after printing a
@@ -256,7 +285,7 @@ bool parseVisited(const char *Text, verify::VisitedMode &Out) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool Lint = false, Prescreen = true, Stats = false;
+  bool Lint = false, Prescreen = true, Stats = false, AbsInt = true;
   uint64_t Jobs = 1, Seed = 1;
   verify::VisitedMode Visited = verify::VisitedMode::Exact;
   verify::PorMode Por = verify::PorMode::Ample;
@@ -293,6 +322,12 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(Argv[I], "--symmetry=", 11) == 0) {
       if (!parseSymmetry(Argv[I] + 11, Symmetry))
         return 1;
+    } else if (std::strcmp(Argv[I], "--absint") == 0) {
+      if (!parseAbsInt(I + 1 < Argc ? Argv[++I] : nullptr, AbsInt))
+        return 1;
+    } else if (std::strncmp(Argv[I], "--absint=", 9) == 0) {
+      if (!parseAbsInt(Argv[I] + 9, AbsInt))
+        return 1;
     } else if (std::strcmp(Argv[I], "--stats") == 0) {
       Stats = true;
     } else if (std::strncmp(Argv[I], "--", 2) == 0) {
@@ -301,7 +336,8 @@ int main(int Argc, char **Argv) {
                    "[--jobs N] [--seed S] "
                    "[--visited exact|fingerprint] "
                    "[--por off|local|ample] "
-                   "[--symmetry on|off] [--stats] [file.psk ...]\n");
+                   "[--symmetry on|off] [--absint on|off] [--stats] "
+                   "[file.psk ...]\n");
       return 1;
     } else
       Files.push_back(Argv[I]);
@@ -351,6 +387,10 @@ int main(int Argc, char **Argv) {
   Cfg.Checker.Symmetry = Symmetry;
   if (Symmetry == verify::SymmetryMode::Off)
     std::printf("checker: symmetry reduction off (default: on)\n");
+  Cfg.AbsInt = AbsInt;
+  Cfg.Analysis.AbsInt = AbsInt;
+  if (!AbsInt)
+    std::printf("cegis: abstract-interpretation screen off (default: on)\n");
   Cfg.Log = [](const std::string &Message) {
     std::printf("  %s\n", Message.c_str());
   };

@@ -27,6 +27,8 @@ AnalysisResult psketch::analysis::analyze(Program &P,
     runPrescreen(P, FP, Cfg, Sink, Out);
   if (Cfg.Lint)
     runSketchLint(P, FP, Cfg, Sink, Out);
+  if (Cfg.AbsInt)
+    runAbsIntScreen(P, FP, Cfg, Sink, Out);
   Out.Diags = Sink.take();
   return Out;
 }

@@ -56,10 +56,12 @@ struct AnalysisConfig {
   bool Prune = true;     ///< run the hole-space pruning pass
   bool Prescreen = true; ///< run the lockset + wait-graph pre-screen
   bool Lint = true;      ///< run the sketch lint pass
+  bool AbsInt = true;    ///< run the interval + lockset screen (AbsInt.h)
   uint64_t MaxGuardEnum = 4096;       ///< assignments per static guard
   unsigned MaxHoleChoices = 64;       ///< equivalence scan per-hole cap
   uint64_t MaxReorderEnum = 4096;     ///< assignments per reorder block
   unsigned MaxReorderExclusions = 256;///< exclusion constraints per block
+  unsigned MaxAbsIntProbes = 256;     ///< pinned-hole abstract runs
 };
 
 /// A unit clause: hole \p HoleId must not take \p Value.
@@ -88,6 +90,10 @@ struct AnalysisResult {
   /// log10 |C'| - log10 |C|: the candidate-space shrink from bans and
   /// canonicalizations (<= 0). bench_table1 adds this to Table 1's |C|.
   double SpaceLog10Delta = 0.0;
+
+  /// Eraser-style inconsistent-locking warnings emitted by the abstract
+  /// interpretation screen (subset of Diags, counted for --stats).
+  unsigned RaceWarnings = 0;
 
   bool hasErrors() const {
     for (const Diagnostic &D : Diags)
@@ -124,6 +130,12 @@ void runPrescreen(ir::Program &P, const flat::FlatProgram &FP,
 void runSketchLint(ir::Program &P, const flat::FlatProgram &FP,
                    const AnalysisConfig &Cfg, DiagnosticSink &Sink,
                    AnalysisResult &Out);
+/// The thread-modular abstract interpretation screen (AbsInt.h): whole-
+/// space refutation (ProvedUnresolvable), pinned-hole unit bans,
+/// interval-dead asserts, and Eraser-style race warnings.
+void runAbsIntScreen(ir::Program &P, const flat::FlatProgram &FP,
+                     const AnalysisConfig &Cfg, DiagnosticSink &Sink,
+                     AnalysisResult &Out);
 
 } // namespace analysis
 } // namespace psketch

@@ -1,0 +1,83 @@
+//===- analysis/Lockset.h - Eraser-style lockset inference ------*- C++ -*-===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntactic lock discovery plus a must-hold lockset computation over the
+/// flat program, in the spirit of Eraser (Savage et al., TOCS 1997) but
+/// static: a *lock cell* is a flattened global slot whose every thread
+/// write is either an acquire (a conditional-atomic step that waits for
+/// the cell to equal its free value and writes a static non-free value)
+/// or a release (an unconditional-within-the-step write of the free value
+/// at a site that provably holds the lock). Cells passing the discipline
+/// yield
+///
+///  * exec::LockAnnotations — must-entry lock masks per (thread, pc),
+///    consumed by the Machine's protectedBy footprint channel so the
+///    partial-order reduction can discount conflicts between same-lock
+///    critical sections (docs/ANALYSIS.md gives the soundness argument);
+///  * race findings — shared slots accessed by two threads with a
+///    *inconsistent* discipline (some site holds a lock, another holds
+///    none in common), reported as warning-grade lint.
+///
+/// The analysis refuses (returns empty annotations, never wrong ones) on
+/// anything it cannot prove: hole-dependent lock values, writes through
+/// unresolved array indices, prologue writes to a lock cell, more than one
+/// write to the cell inside one step, or more than 32 qualifying cells.
+/// Refusals are recorded as human-readable notes for the stats surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_LOCKSET_H
+#define PSKETCH_ANALYSIS_LOCKSET_H
+
+#include "desugar/Flat.h"
+#include "exec/Tuning.h"
+#include "ir/HoleAssignment.h"
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace psketch {
+namespace analysis {
+
+/// One inconsistently-protected shared slot.
+struct RaceFinding {
+  unsigned GlobalSlot = 0;   ///< flattened slot index
+  std::string SlotName;      ///< "owner" or "acct[2]"
+  std::string Where;         ///< first unprotected access site
+};
+
+/// Everything the lockset pass concluded.
+struct LocksetResult {
+  /// Qualified lock cells + per-(thread, pc) must-entry masks. Empty when
+  /// no cell passes the discipline; always safe to hand to the Machine.
+  exec::LockAnnotations Locks;
+
+  /// Eraser-style inconsistent-locking warnings (threads only; a slot is
+  /// reported when >= 2 threads access it, at least one writes, at least
+  /// one site holds a qualified lock, and the intersection over all sites
+  /// is empty). Deliberately quiet on lock-free programs: with no
+  /// qualified lock, no site "holds" anything and nothing is reported.
+  std::vector<RaceFinding> Races;
+
+  /// Human-readable refusal notes ("cell owner: hole-dependent write at
+  /// thread 1, step 3"), for --stats and tests.
+  std::vector<std::string> Refusals;
+};
+
+/// Runs the lockset analysis. \p Holes resolves static guards, Choice
+/// selectors, and write values per candidate; pass nullptr for the
+/// whole-space mode, where hole-dependent steps are treated as
+/// may-execute and hole-dependent values refuse the cell.
+LocksetResult runLockset(const ir::Program &P, const flat::FlatProgram &FP,
+                         const ir::HoleAssignment *Holes);
+
+} // namespace analysis
+} // namespace psketch
+
+#endif // PSKETCH_ANALYSIS_LOCKSET_H

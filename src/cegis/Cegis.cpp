@@ -6,6 +6,7 @@
 
 #include "cegis/Cegis.h"
 
+#include "analysis/AbsInt.h"
 #include "exec/Machine.h"
 #include "ir/Printer.h"
 #include "support/MemUsage.h"
@@ -37,6 +38,7 @@ bool applyPrescreen(ir::Program &P, const flat::FlatProgram &FP,
   R.Stats.PrunedHoleValues = A.Bans.size();
   R.Stats.ExclusionConstraints = A.Exclusions.size();
   R.Stats.SpaceLog10Delta = A.SpaceLog10Delta;
+  R.Stats.RaceWarnings = A.RaceWarnings;
   R.Diags = std::move(A.Diags);
   R.Stats.SpruneSeconds = Watch.seconds();
   if (Cfg.Log && (!A.Bans.empty() || !A.Exclusions.empty()))
@@ -73,6 +75,13 @@ void accumulateCheckerStats(CegisStats &Stats,
     Stats.SymmetryOrbits = Check.SymmetryOrbits;
   Stats.CanonHits += Check.CanonHits;
   Stats.CanonTime += Check.CanonTime;
+  // Max across calls: the strongest tuning any candidate's facts bought
+  // (different candidates prove different intervals and locksets).
+  if (Check.TightenedBits > Stats.TightenedBits)
+    Stats.TightenedBits = Check.TightenedBits;
+  if (Check.LockIndepPairs > Stats.LockIndepPairs)
+    Stats.LockIndepPairs = Check.LockIndepPairs;
+  Stats.PackEscapes += Check.PackEscapes;
   if (Stats.PerWorkerStates.size() < Check.PerWorkerStates.size())
     Stats.PerWorkerStates.resize(Check.PerWorkerStates.size(), 0);
   for (size_t I = 0; I < Check.PerWorkerStates.size(); ++I)
@@ -112,9 +121,44 @@ CegisResult ConcurrentCegis::run() {
       break;
     }
 
-    // Verification step.
+    // Abstract screen: interval-refute the candidate without a verifier
+    // call, or collect Machine tunings (value bounds, lock annotations).
+    analysis::CandidateFacts Facts;
+    bool HaveFacts = false;
+    if (Cfg.AbsInt) {
+      WallTimer AbsWatch;
+      Facts = analysis::analyzeCandidate(P, FP, Candidate);
+      R.Stats.AbsIntSeconds += AbsWatch.seconds();
+      HaveFacts = true;
+    }
+    bool Refuted = HaveFacts && Facts.Refuted;
+    if (Refuted && !Cfg.AbsIntAudit) {
+      ++R.Stats.IntervalPrunes;
+      if (Cfg.Log)
+        Cfg.Log(format("absint: pruned candidate (%s at %s), %llu prunes",
+                       Facts.RefutedWhy.c_str(), Facts.RefutedWhere.c_str(),
+                       static_cast<unsigned long long>(
+                           R.Stats.IntervalPrunes)));
+      Synth.excludeCandidate(Candidate);
+      // Prunes are free of verifier calls, so they bypass MaxIterations;
+      // exclusion makes the loop finite regardless, but a hard cap keeps
+      // a pathological refuted subspace from spinning unbudgeted.
+      if (R.Stats.IntervalPrunes >= (uint64_t(1) << 20)) {
+        R.Stats.Aborted = true;
+        break;
+      }
+      continue;
+    }
+
+    // Verification step. A refuted candidate reaching here is the audit
+    // path: check it untuned so the concrete verdict is ground truth.
     WallTimer VModel;
-    Machine M(FP, Candidate);
+    exec::MachineTuning Tuning;
+    if (HaveFacts && !Refuted) {
+      Tuning.Locks = &Facts.Locks;
+      Tuning.Bounds = &Facts.Bounds;
+    }
+    Machine M(FP, Candidate, Tuning);
     R.Stats.VmodelSeconds += VModel.seconds();
 
     WallTimer VSolve;
@@ -122,6 +166,13 @@ CegisResult ConcurrentCegis::run() {
     R.Stats.VsolveSeconds += VSolve.seconds();
     accumulateCheckerStats(R.Stats, Check);
     ++R.Stats.Iterations;
+
+    if (Refuted) {
+      if (Check.Ok)
+        ++R.Stats.AbsIntFalsePrunes; // soundness bug: surfaced, not hidden
+      else
+        ++R.Stats.IntervalPrunes; // audited and confirmed
+    }
 
     if (Check.Ok) {
       R.Stats.Resolvable = true;
@@ -163,6 +214,12 @@ SequentialCegis::SequentialCegis(ir::Program &P,
                                  std::vector<synth::GlobalOverrides> Tests,
                                  CegisConfig Cfg)
     : P(P), Tests(std::move(Tests)), Cfg(std::move(Cfg)) {
+  // Interval facts are computed from the declared global initializers,
+  // which `implements` tests override per input — both the per-candidate
+  // screen and the analyzer's whole-space interval pass would be unsound
+  // here, so they are forced off (CegisConfig doc).
+  this->Cfg.AbsInt = false;
+  this->Cfg.Analysis.AbsInt = false;
   WallTimer Watch;
   FP = flat::flatten(P);
   FlattenSeconds = Watch.seconds();

@@ -58,6 +58,22 @@ struct CegisConfig {
   bool Prescreen = true;
   /// Pass toggles and enumeration caps for the pre-screen analyzer.
   analysis::AnalysisConfig Analysis;
+  /// When true (the default), every proposed candidate runs the
+  /// thread-modular abstract interpreter (analysis/AbsInt.h) before the
+  /// model checker: an interval-refuted candidate is excluded without a
+  /// verifier call, and for the rest the proven value bounds and lockset
+  /// annotations tune the Machine (packed visited keys, lock-aware POR).
+  /// Sound — refutations are proofs and the tunings preserve verdict and
+  /// canonical counterexample — so only iterations and state counts can
+  /// shrink. Opt out for ablation. Concurrent driver only: sequential
+  /// `implements` runs override initial globals per test, which
+  /// invalidates interval facts computed from the declared initializers.
+  bool AbsInt = true;
+  /// Audit mode: an interval-refuted candidate is *also* model-checked;
+  /// a passing verdict increments CegisStats::AbsIntFalsePrunes (a
+  /// soundness bug) and the candidate is handled per the concrete
+  /// verdict. Used by the bench_absint gate.
+  bool AbsIntAudit = false;
   /// Optional progress sink (iteration summaries).
   std::function<void(const std::string &)> Log;
 };
@@ -108,6 +124,20 @@ struct CegisStats {
   unsigned SymmetryOrbits = 0;
   uint64_t CanonHits = 0;
   double CanonTime = 0.0;
+  /// Abstract-interpretation observability (CegisConfig::AbsInt).
+  /// Candidates excluded by interval refutation without a verifier call;
+  /// race warnings from the analyzer screen; the max key-bits shed /
+  /// lock-independent step pairs any candidate's Machine achieved; time
+  /// spent in per-candidate abstract runs; and audit-mode refutations the
+  /// concrete checker contradicted (must be zero — a nonzero value is an
+  /// analysis soundness bug surfaced by the bench gate).
+  uint64_t IntervalPrunes = 0;
+  unsigned RaceWarnings = 0;
+  unsigned TightenedBits = 0;
+  uint64_t LockIndepPairs = 0;
+  uint64_t PackEscapes = 0;
+  double AbsIntSeconds = 0.0;
+  uint64_t AbsIntFalsePrunes = 0;
 };
 
 /// A finished run.

@@ -25,6 +25,17 @@
 /// never less — tests/test_por.cpp checks the write half against the
 /// undo log of real executions.
 ///
+/// The protectedBy channel (PR 6): when the lockset analysis proves
+/// must-hold locks for a step (exec/Tuning.h), every bit the step touches
+/// carries a mask of the locks held at the step's entry. A conflict
+/// between two footprints is *discounted* when the conflicting bit's
+/// masks intersect: both sides must-hold a common lock at their pcs, so
+/// no reachable state has both steps pending — the conflict can never
+/// materialize (docs/ANALYSIS.md gives the mutual-exclusion argument).
+/// Suffix unions intersect the masks per bit, the conservative
+/// direction: a cell is only suffix-protected by L if EVERY future
+/// access to it holds L.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSKETCH_EXEC_FOOTPRINT_H
@@ -55,12 +66,21 @@ public:
     return (Write[Bit / 64] >> (Bit % 64)) & 1;
   }
 
-  /// Unions \p O into this footprint (suffix accumulation).
+  /// Unions \p O into this footprint (suffix accumulation). Protection
+  /// masks intersect per bit: a union is only protected by a lock every
+  /// constituent access holds. Untouched bits stay at the all-ones mask,
+  /// the identity of intersection.
   void unionWith(const Footprint &O) {
     for (size_t I = 0; I < Read.size(); ++I) {
       Read[I] |= O.Read[I];
       Write[I] |= O.Write[I];
     }
+    if (O.Prot.empty())
+      return;
+    if (Prot.empty())
+      Prot.assign(Read.size() * 64, ~0u);
+    for (size_t B = 0; B < Prot.size(); ++B)
+      Prot[B] &= O.Prot[B];
   }
 
   /// True when the two steps do NOT commute: one writes a cell the other
@@ -72,6 +92,44 @@ public:
     return false;
   }
 
+  /// conflictsWith minus conflicts whose every bit is protected by a
+  /// common must-held lock on both sides. Identical to conflictsWith when
+  /// either side carries no protection channel.
+  bool conflictsWithUnprotected(const Footprint &O) const {
+    if (Prot.empty() || O.Prot.empty())
+      return conflictsWith(O);
+    for (size_t I = 0; I < Read.size(); ++I) {
+      uint64_t Conflict = (Write[I] & (O.Read[I] | O.Write[I])) |
+                          (Read[I] & O.Write[I]);
+      while (Conflict) {
+        unsigned Bit = static_cast<unsigned>(I * 64) +
+                       static_cast<unsigned>(__builtin_ctzll(Conflict));
+        if ((Prot[Bit] & O.Prot[Bit]) == 0)
+          return true;
+        Conflict &= Conflict - 1;
+      }
+    }
+    return false;
+  }
+
+  /// Enables the protection channel: every bit starts fully protected
+  /// (the intersection identity); the Machine then narrows the bits the
+  /// step touches to its must-entry lock mask via protect().
+  void enableProt() { Prot.assign(Read.size() * 64, ~0u); }
+
+  /// Sets bit \p Bit's protection to exactly \p Mask (the lock set held
+  /// at the owning step's entry).
+  void protect(unsigned Bit, uint32_t Mask) { Prot[Bit] = Mask; }
+
+  /// \returns bit \p Bit's protection mask (all-ones when untouched or
+  /// when the channel is disabled).
+  uint32_t protection(unsigned Bit) const {
+    return Prot.empty() ? ~0u : Prot[Bit];
+  }
+
+  /// True when the protection channel is active on this footprint.
+  bool hasProtection() const { return !Prot.empty(); }
+
   bool empty() const {
     for (size_t I = 0; I < Read.size(); ++I)
       if (Read[I] | Write[I])
@@ -81,6 +139,10 @@ public:
 
 private:
   std::vector<uint64_t> Read, Write;
+  /// Per-bit must-held lock mask; empty = channel disabled. Sized to the
+  /// word-rounded universe (Read.size() * 64) so ctz-derived bit indices
+  /// never go out of range.
+  std::vector<uint32_t> Prot;
 };
 
 } // namespace exec

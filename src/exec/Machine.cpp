@@ -89,6 +89,139 @@ Machine::Machine(const flat::FlatProgram &FP, const HoleAssignment &Holes)
   }
 }
 
+Machine::Machine(const flat::FlatProgram &FP, const HoleAssignment &Holes,
+                 const MachineTuning &Tuning)
+    : Machine(FP, Holes) {
+  if (Tuning.Locks && !Tuning.Locks->empty())
+    applyLockAnnotations(*Tuning.Locks);
+  if (Tuning.Bounds && !Tuning.Bounds->empty())
+    buildPackedLayout(*Tuning.Bounds);
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis tuning: protectedBy footprints and packed visited keys.
+//===----------------------------------------------------------------------===//
+
+void Machine::applyLockAnnotations(const LockAnnotations &Locks) {
+  // Shape check: one mask per (thread, pc) including the end-of-body pc.
+  // A producer disagreement disables the channel rather than risking a
+  // wrong independence claim.
+  if (Locks.MustEntry.size() < numThreads())
+    return;
+  for (unsigned Ctx = 0; Ctx < numThreads(); ++Ctx)
+    if (Locks.MustEntry[Ctx].size() != bodyOf(Ctx).Steps.size() + 1)
+      return;
+
+  // Stamp every live thread step: each touched bit is protected by the
+  // locks the thread must hold at the step's entry. Prologue/epilogue
+  // footprints stay unstamped — they never co-run with a thread.
+  for (unsigned Ctx = 0; Ctx < numThreads(); ++Ctx) {
+    const FlatBody &B = bodyOf(Ctx);
+    for (size_t Pc = 0; Pc < B.Steps.size(); ++Pc) {
+      Footprint &F = StepFp[Ctx][Pc];
+      if (DeadStep[Ctx][Pc] || F.empty())
+        continue;
+      F.enableProt();
+      uint32_t Mask = Locks.MustEntry[Ctx][Pc];
+      for (unsigned Bit = 0; Bit < FpBits; ++Bit)
+        if (F.reads(Bit) || F.writes(Bit))
+          F.protect(Bit, Mask);
+    }
+    // Rebuild the suffix unions so their per-bit masks intersect the
+    // stamped step masks.
+    SuffixFp[Ctx].assign(B.Steps.size() + 1, Footprint(FpBits));
+    for (size_t I = B.Steps.size(); I-- > 0;) {
+      SuffixFp[Ctx][I] = SuffixFp[Ctx][I + 1];
+      SuffixFp[Ctx][I].unionWith(StepFp[Ctx][I]);
+    }
+  }
+
+  // Count the cross-thread step pairs the channel newly classifies
+  // independent — a static, deterministic observability figure.
+  for (unsigned A = 0; A < numThreads(); ++A)
+    for (unsigned B = A + 1; B < numThreads(); ++B)
+      for (const Footprint &FA : StepFp[A])
+        for (const Footprint &FB : StepFp[B])
+          if (FA.conflictsWith(FB) && !FA.conflictsWithUnprotected(FB))
+            ++LockIndepPairs;
+}
+
+void Machine::buildPackedLayout(const ValueBounds &Bounds) {
+  // Shape checks mirror applyLockAnnotations: disagreement disables.
+  if (Bounds.GlobalSlots.size() != NumGlobalSlots ||
+      Bounds.Locals.size() < numThreads())
+    return;
+  for (unsigned Ctx = 0; Ctx < numThreads(); ++Ctx)
+    if (Bounds.Locals[Ctx].size() != Layout.LocalsCount[Ctx])
+      return;
+  size_t NumFields = P.fields().size();
+  if (NumFields > 0 && Bounds.HeapFields.size() != NumFields)
+    return;
+
+  PackedLayout PL;
+  PL.Slots.resize(Layout.SchedWords);
+  auto SetSlot = [&](unsigned Word, int64_t Lo, int64_t Hi) -> bool {
+    if (Lo > Hi)
+      return false; // an empty interval is a producer bug: disable
+    uint64_t Range = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo);
+    unsigned Bits =
+        Range == 0 ? 0 : 64 - static_cast<unsigned>(__builtin_clzll(Range));
+    PL.Slots[Word] = {Lo, Range, static_cast<uint8_t>(Bits)};
+    PL.TotalBits += Bits;
+    return true;
+  };
+  for (unsigned I = 0; I < NumGlobalSlots; ++I)
+    if (!SetSlot(Layout.GlobalsOff + I, Bounds.GlobalSlots[I].Lo,
+                 Bounds.GlobalSlots[I].Hi))
+      return;
+  for (unsigned W = Layout.HeapOff; W < Layout.AllocOff; ++W) {
+    const ValueBounds::Range &R =
+        Bounds.HeapFields[(W - Layout.HeapOff) % NumFields];
+    if (!SetSlot(W, R.Lo, R.Hi))
+      return;
+  }
+  if (!SetSlot(Layout.AllocOff, 0, static_cast<int64_t>(P.poolSize())))
+    return;
+  for (unsigned Ctx = 0; Ctx < numThreads(); ++Ctx) {
+    // normalizePc clamps to the body size, so [0, Steps] is exact.
+    if (!SetSlot(Layout.CtxOff[Ctx], 0,
+                 static_cast<int64_t>(bodyOf(Ctx).Steps.size())))
+      return;
+    for (unsigned L = 0; L < Layout.LocalsCount[Ctx]; ++L)
+      if (!SetSlot(Layout.CtxOff[Ctx] + 1 + L, Bounds.Locals[Ctx][L].Lo,
+                   Bounds.Locals[Ctx][L].Hi))
+        return;
+  }
+
+  PL.KeyBytes = (PL.TotalBits + 7) / 8;
+  PL.KeyWords = (PL.TotalBits + 63) / 64;
+  // Enable only when the packing actually tightens and the fingerprint
+  // scratch buffer bound holds.
+  if (PL.TotalBits >= 64 * Layout.SchedWords || PL.KeyWords > MaxPackedWords)
+    return;
+  PL.Enabled = true;
+  Packed = std::move(PL);
+}
+
+bool Machine::packWords(const int64_t *Words, uint64_t *Out) const {
+  unsigned BitPos = 0;
+  for (unsigned W = 0; W < Layout.SchedWords; ++W) {
+    const PackedLayout::PackedSlot &Slot = Packed.Slots[W];
+    uint64_t Delta = static_cast<uint64_t>(Words[W]) -
+                     static_cast<uint64_t>(Slot.Base);
+    if (Delta > Slot.Range)
+      return false; // out of the proven interval: raw-key fallback
+    if (Slot.Bits == 0)
+      continue;
+    unsigned Idx = BitPos / 64, Off = BitPos % 64;
+    Out[Idx] |= Delta << Off;
+    if (Off != 0 && Off + Slot.Bits > 64)
+      Out[Idx + 1] |= Delta >> (64 - Off);
+    BitPos += Slot.Bits;
+  }
+  return true;
+}
+
 //===----------------------------------------------------------------------===//
 // Static footprints.
 //===----------------------------------------------------------------------===//
@@ -525,24 +658,44 @@ bool Machine::runToCompletion(State &S, unsigned Ctx, Violation &V) const {
 }
 
 std::string Machine::encodeState(const State &S) const {
-  // Full 64-bit words, one memcpy. The old per-value 16-bit packing
-  // silently truncated: two states differing only above bit 15 aliased
-  // in the visited set even in Exact mode.
-  return std::string(reinterpret_cast<const char *>(S.words()),
-                     static_cast<size_t>(Layout.SchedWords) *
-                         sizeof(int64_t));
+  return encodeWords(S.words());
 }
 
 uint64_t Machine::fingerprintState(const State &S) const {
-  return hashWords(S.words(), Layout.SchedWords);
+  return fingerprintWords(S.words());
 }
 
 std::string Machine::encodeWords(const int64_t *Words) const {
-  return std::string(reinterpret_cast<const char *>(Words),
-                     static_cast<size_t>(Layout.SchedWords) *
-                         sizeof(int64_t));
+  if (Packed.Enabled) {
+    uint64_t Buf[MaxPackedWords] = {};
+    if (packWords(Words, Buf))
+      return std::string(reinterpret_cast<const char *>(Buf),
+                         Packed.KeyBytes);
+    // Escape: raw key plus a marker byte. Packed keys are at most
+    // 8 * SchedWords bytes, so the lengths can never collide and Exact
+    // dedup stays injective even if the proven intervals were wrong.
+    PackEscapes.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::string Key(reinterpret_cast<const char *>(Words),
+                  static_cast<size_t>(Layout.SchedWords) * sizeof(int64_t));
+  if (Packed.Enabled)
+    Key.push_back('\x1b');
+  return Key;
 }
 
 uint64_t Machine::fingerprintWords(const int64_t *Words) const {
-  return hashWords(Words, Layout.SchedWords);
+  return fingerprintWordsWith(Words, &hashWords);
+}
+
+uint64_t Machine::fingerprintWordsWith(
+    const int64_t *Words, uint64_t (*Hash)(const int64_t *, size_t)) const {
+  if (Packed.Enabled) {
+    uint64_t Buf[MaxPackedWords] = {};
+    if (packWords(Words, Buf))
+      return Hash(reinterpret_cast<const int64_t *>(Buf), Packed.KeyWords);
+    PackEscapes.fetch_add(1, std::memory_order_relaxed);
+    // Salt escaped raw-key hashes away from the packed hash space.
+    return Hash(Words, Layout.SchedWords) ^ 0x9e3779b97f4a7c15ull;
+  }
+  return Hash(Words, Layout.SchedWords);
 }

@@ -23,8 +23,10 @@
 #include "desugar/Flat.h"
 #include "exec/Footprint.h"
 #include "exec/StateVec.h"
+#include "exec/Tuning.h"
 #include "ir/HoleAssignment.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -69,6 +71,14 @@ public:
   /// Context numbering: 0..N-1 are threads, N is the prologue, N+1 the
   /// epilogue.
   Machine(const flat::FlatProgram &FP, const ir::HoleAssignment &Holes);
+
+  /// As above, additionally consuming analysis-proven facts about this
+  /// candidate (exec/Tuning.h): must-hold locksets sharpen the footprint
+  /// independence relation (the protectedBy channel), and value intervals
+  /// pack the visited-set key into fewer bits. Both default to off; an
+  /// empty/null tuning reproduces the plain constructor exactly.
+  Machine(const flat::FlatProgram &FP, const ir::HoleAssignment &Holes,
+          const MachineTuning &Tuning);
 
   unsigned numThreads() const {
     return static_cast<unsigned>(FP.Threads.size());
@@ -126,8 +136,44 @@ public:
   /// buffer of schedWords() words — the symmetry canonicalizer hands the
   /// visited tables a canonical image rather than the live state
   /// (verify/Canon.h), and these route its keys through the same paths.
+  /// With a packed layout active (ValueBounds tuning) the key is the
+  /// bit-packed rendering; a word outside its proven interval falls back
+  /// to the raw key plus a marker byte (a length no packed key can have),
+  /// so Exact-mode dedup stays injective even against a buggy analysis.
   std::string encodeWords(const int64_t *Words) const;
   uint64_t fingerprintWords(const int64_t *Words) const;
+
+  /// fingerprintWords with an injected word-hash (the visited tables'
+  /// pluggable hash; verify/Visited.h). Packs first when a packed layout
+  /// is active, so Fingerprint mode hashes KeyWords <= schedWords() words.
+  uint64_t fingerprintWordsWith(const int64_t *Words,
+                                uint64_t (*Hash)(const int64_t *,
+                                                 size_t)) const;
+
+  /// The packed key layout (Enabled == false without ValueBounds tuning).
+  const PackedLayout &packedLayout() const { return Packed; }
+
+  /// Stack-buffer bound for packed keys/fingerprints; layouts needing
+  /// more words than this stay unpacked.
+  static constexpr unsigned MaxPackedWords = 64;
+
+  /// Bits the packed layout sheds from the 64 * schedWords() raw key
+  /// (0 when packing is off): the --stats TightenedBits counter.
+  unsigned tightenedBits() const {
+    return Packed.Enabled ? 64 * Layout.SchedWords - Packed.TotalBits : 0;
+  }
+
+  /// Encodings that found a word outside its proven interval and fell
+  /// back to the raw key. Nonzero only under an unsound ValueBounds — the
+  /// soundness tests assert this stays 0.
+  uint64_t packEscapes() const {
+    return PackEscapes.load(std::memory_order_relaxed);
+  }
+
+  /// Cross-thread step pairs that conflict on raw footprints but are
+  /// independent under the protectedBy channel (0 without lock
+  /// annotations): the --stats LockIndepPairs counter.
+  uint64_t lockIndepPairs() const { return LockIndepPairs; }
 
   /// \returns the flat-state layout this machine's states share.
   const StateLayout &layout() const { return Layout; }
@@ -168,23 +214,31 @@ public:
 
   /// True when the two steps commute: neither's write set intersects the
   /// other's read or write set, so executing them in either order from
-  /// any state yields the same state.
+  /// any state yields the same state. Under lock annotations, conflicts
+  /// protected by a common must-held lock are discounted: the two pcs can
+  /// never be co-pending in a reachable state, so declaring them
+  /// commuting is vacuous there and the sleep-set/ample arguments go
+  /// through unchanged (docs/ANALYSIS.md).
   bool commutes(unsigned CtxA, uint32_t PcA, unsigned CtxB,
                 uint32_t PcB) const {
-    return !stepFootprint(CtxA, PcA).conflictsWith(stepFootprint(CtxB, PcB));
+    return !stepFootprint(CtxA, PcA)
+                .conflictsWithUnprotected(stepFootprint(CtxB, PcB));
   }
 
   /// True when {Ctx's next step} is a valid singleton ample set at \p S
   /// so far as independence is concerned (C1): the step conflicts with no
   /// other thread's *remaining* steps, so no interleaving can enable a
-  /// dependent action before it. The caller layers the cycle proviso (C2)
-  /// on top. PCs of \p S must be normalized (classifyAll has run).
+  /// dependent action before it. Lock-protected conflicts are discounted:
+  /// Ctx holds the common lock for as long as it stays at this pc, so the
+  /// other thread cannot reach its conflicting (must-locked) access until
+  /// the ample step fires. The caller layers the cycle proviso (C2) on
+  /// top. PCs of \p S must be normalized (classifyAll has run).
   bool singletonIndependent(State &S, unsigned Ctx) const {
     const Footprint &Fp = stepFootprint(Ctx, normalizePc(S, Ctx));
     for (unsigned U = 0; U < numThreads(); ++U) {
       if (U == Ctx)
         continue;
-      if (Fp.conflictsWith(suffixFootprint(U, S.pc(U))))
+      if (Fp.conflictsWithUnprotected(suffixFootprint(U, S.pc(U))))
         return false;
     }
     return true;
@@ -207,10 +261,22 @@ private:
   std::vector<std::vector<Footprint>> StepFp;
   std::vector<std::vector<Footprint>> SuffixFp;
 
+  /// Packed-key layout (Enabled only under ValueBounds tuning) and the
+  /// tuning observability counters. PackEscapes is mutated from const
+  /// encode paths that run concurrently in the parallel checker.
+  PackedLayout Packed;
+  uint64_t LockIndepPairs = 0;
+  mutable std::atomic<uint64_t> PackEscapes{0};
+
   void collectExprFootprint(ir::ExprRef E, Footprint &F) const;
   void collectLocFootprint(const ir::Loc &L, bool IsWrite,
                            Footprint &F) const;
   Footprint computeStepFootprint(unsigned Ctx, size_t Pc) const;
+  void applyLockAnnotations(const LockAnnotations &Locks);
+  void buildPackedLayout(const ValueBounds &Bounds);
+  /// Packs the scheduler prefix into \p Out (KeyWords words, zeroed by
+  /// the caller). \returns false when some word escapes its interval.
+  bool packWords(const int64_t *Words, uint64_t *Out) const;
 
   const ir::Body &irBodyOf(unsigned Ctx) const;
   int64_t loadLoc(const State &S, unsigned Ctx, const ir::Loc &L,

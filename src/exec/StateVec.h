@@ -21,6 +21,16 @@
 /// memcpy of StateLayout::SchedWords words, and the 64-bit fingerprint is
 /// one pass of support/Hash.h over the same span.
 ///
+/// PackedLayout (PR 6): when the abstract interpreter proves per-slot
+/// value intervals (exec/Tuning.h), the Machine derives a bit-packed key
+/// layout — each scheduler word contributes only the bits its interval
+/// needs (zero for proven constants) — so Exact-mode keys shrink and
+/// Fingerprint mode hashes fewer words. Packing is injective on
+/// in-interval word vectors by construction; a value outside its interval
+/// (an analysis bug) is detected during encoding and the state falls back
+/// to the raw key with a trailing marker byte, whose length can never
+/// collide with a packed key. See Machine::encodeWords.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSKETCH_EXEC_STATEVEC_H
@@ -55,6 +65,24 @@ struct StateLayout {
   unsigned SchedWords = 0;
   /// Total words in a state.
   unsigned Words = 0;
+};
+
+/// A bit-packed rendering of the scheduler prefix, derived from proven
+/// value intervals (see the file comment). One PackedSlot per scheduler
+/// word: the word's value v is encoded as the Bits-bit unsigned quantity
+/// v - Base, valid iff v - Base <= Range (checked in unsigned arithmetic,
+/// so it also catches v < Base).
+struct PackedLayout {
+  struct PackedSlot {
+    int64_t Base = 0;
+    uint64_t Range = 0; ///< Hi - Lo as unsigned; 0 = proven constant
+    uint8_t Bits = 0;   ///< bits needed for Range (0 drops the slot)
+  };
+  std::vector<PackedSlot> Slots; ///< one per scheduler word
+  unsigned TotalBits = 0;        ///< sum of Slots[i].Bits
+  unsigned KeyBytes = 0;         ///< packed Exact-key length
+  unsigned KeyWords = 0;         ///< 64-bit words covering TotalBits
+  bool Enabled = false;
 };
 
 /// A log of (word, previous value) pairs recorded by State's mutating

@@ -677,7 +677,14 @@ CheckResult psketch::verify::detail::checkCandidateSequential(
 CheckResult psketch::verify::checkCandidate(const Machine &M,
                                             const CheckerConfig &Cfg) {
   unsigned Workers = resolvedNumThreads(Cfg);
-  if (Workers <= 1)
-    return detail::checkCandidateSequential(M, Cfg, Cfg.UseRandomFalsifier);
-  return detail::checkCandidateParallel(M, Cfg, Workers);
+  CheckResult Res =
+      Workers <= 1
+          ? detail::checkCandidateSequential(M, Cfg, Cfg.UseRandomFalsifier)
+          : detail::checkCandidateParallel(M, Cfg, Workers);
+  // Analysis-tuning observability lives on the Machine; stamp it here so
+  // every engine (sequential, parallel, re-derivation) reports it.
+  Res.TightenedBits = M.tightenedBits();
+  Res.LockIndepPairs = M.lockIndepPairs();
+  Res.PackEscapes = M.packEscapes();
+  return Res;
 }

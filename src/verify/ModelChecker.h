@@ -231,6 +231,15 @@ struct CheckResult {
   unsigned SymmetryOrbits = 0;
   uint64_t CanonHits = 0;
   double CanonTime = 0;
+  /// Analysis-tuning observability, stamped from the Machine (zero when
+  /// the Machine carries no analysis facts). Bits the packed visited-key
+  /// layout sheds per state; cross-thread step pairs the protectedBy
+  /// channel newly classifies independent; states whose value escaped its
+  /// proven interval at encode time (an analysis bug indicator — the
+  /// state fell back to the raw key, costing memory, never soundness).
+  unsigned TightenedBits = 0;
+  uint64_t LockIndepPairs = 0;
+  uint64_t PackEscapes = 0;
 };
 
 /// Model-checks one candidate (a Machine is a program plus a hole

@@ -222,7 +222,12 @@ private:
   }
 
   uint64_t fp(const exec::Machine &M, const int64_t *Words) const {
-    return Mode == VisitedMode::Fingerprint ? Hash(Words, M.schedWords()) : 0;
+    // Routed through the Machine so a packed layout (exec/Tuning.h)
+    // hashes the packed words; without packing this is Hash(Words,
+    // schedWords()) exactly.
+    return Mode == VisitedMode::Fingerprint
+               ? M.fingerprintWordsWith(Words, Hash)
+               : 0;
   }
 
   VisitedMode Mode;
@@ -254,7 +259,7 @@ public:
     unsigned PermIdx = Canonicalizer::IdentityPerm;
     const int64_t *W = Canon ? Canon->canonicalize(S.words(), PermIdx)
                              : S.words();
-    uint64_t Fp = Hash(W, M.schedWords());
+    uint64_t Fp = M.fingerprintWordsWith(W, Hash);
     ShardT &Shard = Shards[Fp & (NumShards - 1)];
     std::lock_guard<std::mutex> Lock(Shard.Mu);
     return Shard.Cell.insert(Mode, Audit, AuditBudget, Fp,
@@ -271,7 +276,7 @@ public:
     unsigned PermIdx = Canonicalizer::IdentityPerm;
     const int64_t *W = Canon ? Canon->canonicalize(S.words(), PermIdx)
                              : S.words();
-    uint64_t Fp = Hash(W, M.schedWords());
+    uint64_t Fp = M.fingerprintWordsWith(W, Hash);
     const ShardT &Shard = Shards[Fp & (NumShards - 1)];
     std::lock_guard<std::mutex> Lock(Shard.Mu);
     return Shard.Cell.contains(Mode, Fp, [&] { return M.encodeWords(W); });

@@ -521,11 +521,17 @@ TEST(Soundness, EquivalenceBansPointToIdenticalBehavior) {
   // For every equivalence ban the analyzer emits on the random sketches,
   // the banned value and its canonical representative must drive
   // exec::Machine to identical verdicts on the full program order.
+  // The abstract-interpretation screen is off here: its bans are
+  // guaranteed-fail refutations (the other clause of the soundness
+  // contract), validated by the refutation-agreement test in
+  // test_absint.cpp.
   unsigned BansChecked = 0;
   for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
     auto P = buildRandomSketch(Seed);
     flat::FlatProgram FP = flat::flatten(*P);
-    AnalysisResult A = analyze(*P, FP);
+    AnalysisConfig EquivOnly;
+    EquivOnly.AbsInt = false;
+    AnalysisResult A = analyze(*P, FP, EquivOnly);
     for (const HoleValueBan &Ban : A.Bans) {
       // Find the smallest unbanned representative.
       uint64_t Rep = 0;
