@@ -26,12 +26,14 @@
 
 #include "benchmarks/Suite.h"
 #include "cegis/Cegis.h"
+#include "support/Hash.h"
 #include "support/StrUtil.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -158,6 +160,51 @@ private:
     Buf += Rendered;
   }
 };
+
+/// Reads the CPU model name and the interesting ISA flags from
+/// /proc/cpuinfo (best effort: both come back empty off Linux).
+inline void cpuInfo(std::string &Model, std::string &Flags) {
+  std::ifstream In("/proc/cpuinfo");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    std::string Key = Line.substr(0, Line.find('\t'));
+    std::string Value =
+        Line.substr(Colon + 1 < Line.size() ? Colon + 2 : Colon + 1);
+    if (Model.empty() && Key == "model name")
+      Model = Value;
+    if (Flags.empty() && Key == "flags") {
+      // Keep only the vector-ISA flags the SIMD kernels care about; the
+      // full flag list is ~1 KiB of noise.
+      std::istringstream Words(Value);
+      std::string W;
+      while (Words >> W)
+        if (W == "sse4_2" || W == "avx" || W == "avx2" || W == "avx512f")
+          Flags += (Flags.empty() ? "" : " ") + W;
+    }
+    if (!Model.empty() && !Flags.empty())
+      break;
+  }
+}
+
+/// One provenance row describing the machine and engine configuration
+/// the measurements came from. Benches add it as the first row of their
+/// JSON report so regression tooling can refuse cross-machine or
+/// cross-configuration comparisons (scripts/check_bench_regression.py).
+inline JsonObject provenanceJson(unsigned Workers, unsigned BatchWidth) {
+  std::string Model, Flags;
+  cpuInfo(Model, Flags);
+  JsonObject O;
+  O.field("kind", "provenance")
+      .field("cpu_model", Model)
+      .field("cpu_flags", Flags)
+      .field("simd", psketch::simdMode())
+      .field("batch_width", BatchWidth)
+      .field("workers", Workers);
+  return O;
+}
 
 /// Accumulates JSON rows and writes them as one array. Disabled unless
 /// the bench got --json.

@@ -42,6 +42,7 @@
 #include "cegis/Cegis.h"
 #include "desugar/Flatten.h"
 #include "frontend/Parser.h"
+#include "support/Hash.h"
 
 #include <cctype>
 #include <cerrno>
@@ -286,7 +287,7 @@ bool parseVisited(const char *Text, verify::VisitedMode &Out) {
 
 int main(int Argc, char **Argv) {
   bool Lint = false, Prescreen = true, Stats = false, AbsInt = true;
-  uint64_t Jobs = 1, Seed = 1;
+  uint64_t Jobs = 1, Seed = 1, Batch = 1;
   verify::VisitedMode Visited = verify::VisitedMode::Exact;
   verify::PorMode Por = verify::PorMode::Ample;
   verify::SymmetryMode Symmetry = verify::SymmetryMode::Orbit;
@@ -328,12 +329,19 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(Argv[I], "--absint=", 9) == 0) {
       if (!parseAbsInt(Argv[I] + 9, AbsInt))
         return 1;
+    } else if (std::strcmp(Argv[I], "--batch") == 0) {
+      if (!parseUnsigned("--batch", I + 1 < Argc ? Argv[++I] : nullptr,
+                         1u << 12, Batch))
+        return 1;
+    } else if (std::strncmp(Argv[I], "--batch=", 8) == 0) {
+      if (!parseUnsigned("--batch", Argv[I] + 8, 1u << 12, Batch))
+        return 1;
     } else if (std::strcmp(Argv[I], "--stats") == 0) {
       Stats = true;
     } else if (std::strncmp(Argv[I], "--", 2) == 0) {
       std::fprintf(stderr,
                    "usage: psketch_tool [--lint] [--no-prescreen] "
-                   "[--jobs N] [--seed S] "
+                   "[--jobs N] [--seed S] [--batch N] "
                    "[--visited exact|fingerprint] "
                    "[--por off|local|ample] "
                    "[--symmetry on|off] [--absint on|off] [--stats] "
@@ -341,6 +349,14 @@ int main(int Argc, char **Argv) {
       return 1;
     } else
       Files.push_back(Argv[I]);
+  }
+
+  if (Batch == 0) {
+    printDiag({analysis::Severity::Error, "cli",
+               "--batch: bad value '0' (expected a positive width; 1 = "
+               "scalar)",
+               ""});
+    return 1;
   }
 
   if (Lint) {
@@ -376,6 +392,10 @@ int main(int Argc, char **Argv) {
   Cfg.Prescreen = Prescreen;
   Cfg.Checker.NumThreads = static_cast<unsigned>(Jobs);
   Cfg.Checker.Seed = Seed;
+  Cfg.Checker.BatchWidth = static_cast<unsigned>(Batch);
+  if (Batch >= 2)
+    std::printf("checker: batched frontier, width %u (SIMD %s)\n",
+                static_cast<unsigned>(Batch), psketch::simdMode());
   Cfg.Checker.Visited = Visited;
   if (Visited == verify::VisitedMode::Fingerprint)
     std::printf("checker: fingerprint visited set (64-bit hash "

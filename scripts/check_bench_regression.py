@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a checked-in baseline.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance F]
+
+Guards the batched/state-engine throughput numbers against silent decay:
+a row whose states/sec falls more than the tolerance (default 30%) below
+the baseline fails the run. Throughput is machine-dependent, so when the
+two reports' provenance rows disagree on the CPU model or active SIMD
+mode the comparison is skipped (exit 0 with a notice) — the baseline
+only binds runs on the machine that produced it. Agreement rows are
+re-checked unconditionally: those are machine-independent and must never
+regress anywhere.
+
+Stdlib only (json/sys); no third-party dependencies.
+"""
+
+import json
+import sys
+
+# Per-kind (key fields, throughput field). Rows of other kinds carry no
+# throughput claim and are skipped.
+METRICS = {
+    "micro": (("sketch", "test", "engine"), "states_per_sec"),
+    "batch_micro": (("sketch", "test", "shape"), "batched_states_per_sec"),
+}
+
+AGREE_FLAGS = ("agrees", "ok")
+
+
+def provenance(rows):
+    for row in rows:
+        if row.get("kind") == "provenance":
+            return row
+    return {}
+
+
+def index(rows):
+    out = {}
+    for row in rows:
+        spec = METRICS.get(row.get("kind"))
+        if spec is None:
+            continue
+        keys, metric = spec
+        ident = (row["kind"],) + tuple(row.get(k) for k in keys)
+        if metric in row:
+            out[ident] = row[metric]
+    return out
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    tol = 0.30
+    for a in argv[1:]:
+        if a.startswith("--tolerance"):
+            tol = float(a.split("=", 1)[1] if "=" in a else args.pop())
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    with open(args[0]) as f:
+        current = json.load(f)
+    with open(args[1]) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for row in current:
+        for flag in AGREE_FLAGS:
+            if row.get("kind", "").endswith("agreement") and row.get(flag) is False:
+                failures.append("disagreement row: %s" % json.dumps(row))
+
+    cur_prov, base_prov = provenance(current), provenance(baseline)
+    same_machine = all(
+        cur_prov.get(k) == base_prov.get(k) for k in ("cpu_model", "simd")
+    )
+    if not same_machine:
+        print(
+            "check_bench_regression: provenance differs "
+            "(cpu %r vs %r, simd %r vs %r) -- throughput comparison skipped"
+            % (
+                cur_prov.get("cpu_model"),
+                base_prov.get("cpu_model"),
+                cur_prov.get("simd"),
+                base_prov.get("simd"),
+            )
+        )
+    else:
+        cur, base = index(current), index(baseline)
+        compared = 0
+        for ident, expected in sorted(base.items()):
+            got = cur.get(ident)
+            if got is None:
+                print("check_bench_regression: %s missing from current report"
+                      % (ident,))
+                continue
+            compared += 1
+            if got < expected * (1.0 - tol):
+                failures.append(
+                    "%s: %.0f states/s vs baseline %.0f (-%.0f%%, tolerance %.0f%%)"
+                    % (ident, got, expected, 100 * (1 - got / expected), 100 * tol)
+                )
+        print("check_bench_regression: %d rows compared, %d regressions"
+              % (compared, len(failures)))
+
+    for f in failures:
+        print("FAIL: " + f)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

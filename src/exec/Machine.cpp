@@ -9,6 +9,7 @@
 #include "ir/StaticEval.h"
 #include "support/Hash.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -87,15 +88,52 @@ Machine::Machine(const flat::FlatProgram &FP, const HoleAssignment &Holes)
       SuffixFp[Ctx][I].unionWith(StepFp[Ctx][I]);
     }
   }
+
+  buildRelationTables();
 }
 
 Machine::Machine(const flat::FlatProgram &FP, const HoleAssignment &Holes,
                  const MachineTuning &Tuning)
     : Machine(FP, Holes) {
-  if (Tuning.Locks && !Tuning.Locks->empty())
+  if (Tuning.Locks && !Tuning.Locks->empty()) {
     applyLockAnnotations(*Tuning.Locks);
+    buildRelationTables(); // the annotations rewrote the footprints
+  }
   if (Tuning.Bounds && !Tuning.Bounds->empty())
     buildPackedLayout(*Tuning.Bounds);
+}
+
+void Machine::buildRelationTables() {
+  CommuteTbl.clear();
+  IndepTbl.clear();
+  unsigned NC = numContexts();
+  size_t Total = 0;
+  for (unsigned A = 0; A < NC; ++A)
+    for (unsigned B = 0; B < NC; ++B)
+      Total += StepFp[A].size() * StepFp[B].size();
+  if (Total > MaxRelationBits)
+    return; // oversized bodies fall back to on-demand footprint checks
+  CommuteTbl.resize(static_cast<size_t>(NC) * NC);
+  IndepTbl.resize(static_cast<size_t>(NC) * NC);
+  for (unsigned A = 0; A < NC; ++A) {
+    for (unsigned B = 0; B < NC; ++B) {
+      size_t LenA = StepFp[A].size(), LenB = StepFp[B].size();
+      std::vector<uint8_t> &Cm = CommuteTbl[A * NC + B];
+      std::vector<uint8_t> &In = IndepTbl[A * NC + B];
+      Cm.assign((LenA * LenB + 7) / 8, 0);
+      In.assign((LenA * LenB + 7) / 8, 0);
+      for (size_t PA = 0; PA < LenA; ++PA) {
+        const Footprint &FA = StepFp[A][PA];
+        for (size_t PB = 0; PB < LenB; ++PB) {
+          size_t Bit = PA * LenB + PB;
+          if (!FA.conflictsWithUnprotected(StepFp[B][PB]))
+            Cm[Bit >> 3] |= static_cast<uint8_t>(1u << (Bit & 7));
+          if (!FA.conflictsWithUnprotected(SuffixFp[B][PB]))
+            In[Bit >> 3] |= static_cast<uint8_t>(1u << (Bit & 7));
+        }
+      }
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -639,6 +677,26 @@ ExecOutcome Machine::execStep(State &S, unsigned Ctx, Violation &V) const {
   return ExecOutcome{StepResult::Ok, Pc};
 }
 
+void Machine::expandBatch(const State &Parent, const unsigned *Ctxs,
+                          unsigned N, State *Lanes, ExecOutcome *Outcomes,
+                          Violation *Viols) const {
+  for (unsigned I = 0; I < N; ++I) {
+    Lanes[I] = Parent; // vector assignment reuses the lane's buffer
+    Viols[I] = Violation{};
+    Outcomes[I] = execStep(Lanes[I], Ctxs[I], Viols[I]);
+  }
+}
+
+void Machine::expandBatch(const State *const *Parents, const unsigned *Ctxs,
+                          unsigned N, State *Lanes, ExecOutcome *Outcomes,
+                          Violation *Viols) const {
+  for (unsigned I = 0; I < N; ++I) {
+    Lanes[I] = *Parents[I]; // vector assignment reuses the lane's buffer
+    Viols[I] = Violation{};
+    Outcomes[I] = execStep(Lanes[I], Ctxs[I], Viols[I]);
+  }
+}
+
 bool Machine::runToCompletion(State &S, unsigned Ctx, Violation &V) const {
   for (;;) {
     ExecOutcome Out = execStep(S, Ctx, V);
@@ -683,6 +741,24 @@ std::string Machine::encodeWords(const int64_t *Words) const {
   return Key;
 }
 
+std::string_view Machine::encodeWordsView(const int64_t *Words) const {
+  size_t RawBytes = static_cast<size_t>(Layout.SchedWords) * sizeof(int64_t);
+  if (Packed.Enabled) {
+    static thread_local std::vector<char> Scratch;
+    Scratch.resize(std::max<size_t>(Packed.KeyBytes, RawBytes + 1));
+    uint64_t Buf[MaxPackedWords] = {};
+    if (packWords(Words, Buf)) {
+      std::memcpy(Scratch.data(), Buf, Packed.KeyBytes);
+      return {Scratch.data(), Packed.KeyBytes};
+    }
+    PackEscapes.fetch_add(1, std::memory_order_relaxed);
+    std::memcpy(Scratch.data(), Words, RawBytes);
+    Scratch[RawBytes] = '\x1b'; // same escape marker as encodeWords
+    return {Scratch.data(), RawBytes + 1};
+  }
+  return {reinterpret_cast<const char *>(Words), RawBytes};
+}
+
 uint64_t Machine::fingerprintWords(const int64_t *Words) const {
   return fingerprintWordsWith(Words, &hashWords);
 }
@@ -698,4 +774,35 @@ uint64_t Machine::fingerprintWordsWith(
     return Hash(Words, Layout.SchedWords) ^ 0x9e3779b97f4a7c15ull;
   }
   return Hash(Words, Layout.SchedWords);
+}
+
+void Machine::fingerprintBatchWith(const SchedBlock &B, unsigned Lanes,
+                                   uint64_t (*Hash)(const int64_t *, size_t),
+                                   uint64_t *Out) const {
+  assert(B.numWords() == Layout.SchedWords && "block/layout shape mismatch");
+  if (!Packed.Enabled && Hash == &hashWords) {
+    hashWordsBatch(B.data(), Layout.SchedWords, Lanes, B.stride(), Out);
+    return;
+  }
+  // Packed layouts (and injected audit hashes) go through the scalar
+  // per-lane path so escapes and salting behave exactly as unbatched.
+  static thread_local std::vector<int64_t> Tmp;
+  Tmp.resize(Layout.SchedWords);
+  for (unsigned K = 0; K < Lanes; ++K) {
+    B.gatherLane(K, Tmp.data());
+    Out[K] = fingerprintWordsWith(Tmp.data(), Hash);
+  }
+}
+
+void Machine::fingerprintBatchPtrsWith(const int64_t *const *W,
+                                       unsigned Lanes,
+                                       uint64_t (*Hash)(const int64_t *,
+                                                        size_t),
+                                       uint64_t *Out) const {
+  if (!Packed.Enabled && Hash == &hashWords) {
+    hashWordsBatchPtrs(W, Layout.SchedWords, Lanes, Out);
+    return;
+  }
+  for (unsigned K = 0; K < Lanes; ++K)
+    Out[K] = fingerprintWordsWith(W[K], Hash);
 }

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace psketch {
@@ -112,6 +113,24 @@ public:
   /// failure (the PC is left at the violating step).
   ExecOutcome execStep(State &S, unsigned Ctx, Violation &V) const;
 
+  /// Batched successor generation (the frontier engine's expansion step):
+  /// for each I in [0, N), Lanes[I] becomes \p Parent advanced one step by
+  /// context Ctxs[I], with Outcomes[I] / Viols[I] mirroring execStep's
+  /// result for that lane. Lane states are assigned in place, so their
+  /// buffers are reused across calls; semantics are exactly per-lane
+  /// copy + execStep.
+  void expandBatch(const State &Parent, const unsigned *Ctxs, unsigned N,
+                   State *Lanes, ExecOutcome *Outcomes,
+                   Violation *Viols) const;
+
+  /// Multi-parent variant: lane I expands *Parents[I] by Ctxs[I]. This is
+  /// what lets a frontier engine fill wide batches on few-threaded
+  /// programs — one parent contributes at most numThreads() lanes, so
+  /// full-width batches must pool successors across parents.
+  void expandBatch(const State *const *Parents, const unsigned *Ctxs,
+                   unsigned N, State *Lanes, ExecOutcome *Outcomes,
+                   Violation *Viols) const;
+
   /// Runs a single-threaded context to completion. \returns false and
   /// fills \p V on violation (a conditional atomic blocking in a
   /// single-threaded phase is reported as a deadlock).
@@ -143,12 +162,40 @@ public:
   std::string encodeWords(const int64_t *Words) const;
   uint64_t fingerprintWords(const int64_t *Words) const;
 
+  /// encodeWords without materializing a std::string: the returned view
+  /// holds the identical key bytes (packed rendering, escape marker and
+  /// all) and stays valid until the next call on the same thread —
+  /// unpacked keys view \p Words directly, packed ones a thread-local
+  /// scratch. The batched visited probes pair this with heterogeneous
+  /// map lookup so revisits allocate nothing.
+  std::string_view encodeWordsView(const int64_t *Words) const;
+
   /// fingerprintWords with an injected word-hash (the visited tables'
   /// pluggable hash; verify/Visited.h). Packs first when a packed layout
   /// is active, so Fingerprint mode hashes KeyWords <= schedWords() words.
   uint64_t fingerprintWordsWith(const int64_t *Words,
                                 uint64_t (*Hash)(const int64_t *,
                                                  size_t)) const;
+
+  /// Batched fingerprintWordsWith over a word-major SoA block: Out[K] is
+  /// bit-identical to fingerprintWordsWith on lane K's gathered words, for
+  /// each of the first \p Lanes lanes. Unpacked layouts under the default
+  /// hash run one hashWordsBatch sweep over the transposed words (the
+  /// SIMD path); packed layouts — and injected audit hashes — gather and
+  /// pack each lane through the exact scalar path.
+  void fingerprintBatchWith(const SchedBlock &B, unsigned Lanes,
+                            uint64_t (*Hash)(const int64_t *, size_t),
+                            uint64_t *Out) const;
+
+  /// Batched fingerprintWordsWith straight from per-lane word pointers
+  /// (lane K's scheduler words at W[K]): no SoA block involved. Unpacked
+  /// layouts under the default hash run the register-transposing SIMD
+  /// kernel (hashWordsBatchPtrs); packed layouts and injected hashes
+  /// fall back to the exact scalar path per lane. Out[K] is bit-identical
+  /// to fingerprintWordsWith(W[K], Hash) either way.
+  void fingerprintBatchPtrsWith(const int64_t *const *W, unsigned Lanes,
+                                uint64_t (*Hash)(const int64_t *, size_t),
+                                uint64_t *Out) const;
 
   /// The packed key layout (Enabled == false without ValueBounds tuning).
   const PackedLayout &packedLayout() const { return Packed; }
@@ -221,6 +268,13 @@ public:
   /// through unchanged (docs/ANALYSIS.md).
   bool commutes(unsigned CtxA, uint32_t PcA, unsigned CtxB,
                 uint32_t PcB) const {
+    if (!CommuteTbl.empty()) {
+      uint32_t NB = static_cast<uint32_t>(StepFp[CtxB].size() - 1);
+      size_t Bit = static_cast<size_t>(clampPc(StepFp[CtxA], PcA)) * (NB + 1) +
+                   clampPc(StepFp[CtxB], PcB);
+      return (CommuteTbl[CtxA * numContexts() + CtxB][Bit >> 3] >> (Bit & 7)) &
+             1;
+    }
     return !stepFootprint(CtxA, PcA)
                 .conflictsWithUnprotected(stepFootprint(CtxB, PcB));
   }
@@ -234,7 +288,21 @@ public:
   /// the ample step fires. The caller layers the cycle proviso (C2) on
   /// top. PCs of \p S must be normalized (classifyAll has run).
   bool singletonIndependent(State &S, unsigned Ctx) const {
-    const Footprint &Fp = stepFootprint(Ctx, normalizePc(S, Ctx));
+    uint32_t Pc = normalizePc(S, Ctx);
+    if (!IndepTbl.empty()) {
+      uint32_t PA = clampPc(StepFp[Ctx], Pc);
+      for (unsigned U = 0; U < numThreads(); ++U) {
+        if (U == Ctx)
+          continue;
+        uint32_t NB = static_cast<uint32_t>(SuffixFp[U].size() - 1);
+        size_t Bit = static_cast<size_t>(PA) * (NB + 1) +
+                     clampPc(SuffixFp[U], S.pc(U));
+        if (!((IndepTbl[Ctx * numContexts() + U][Bit >> 3] >> (Bit & 7)) & 1))
+          return false;
+      }
+      return true;
+    }
+    const Footprint &Fp = stepFootprint(Ctx, Pc);
     for (unsigned U = 0; U < numThreads(); ++U) {
       if (U == Ctx)
         continue;
@@ -261,12 +329,31 @@ private:
   std::vector<std::vector<Footprint>> StepFp;
   std::vector<std::vector<Footprint>> SuffixFp;
 
+  /// Precomputed relation bits over step pcs, one bitset per ordered
+  /// context pair indexed pcA * lenB + pcB: CommuteTbl caches commutes()
+  /// (step-vs-step), IndepTbl caches the step-vs-suffix independence that
+  /// singletonIndependent folds over. Built at construction (and rebuilt
+  /// after lock-annotation tuning mutates the footprints) unless the
+  /// bodies exceed MaxRelationBits; empty tables mean "recompute from
+  /// footprints". Both engines — scalar and batched — consult the same
+  /// tables, so their POR decisions agree by construction.
+  static constexpr size_t MaxRelationBits = 1u << 22;
+  std::vector<std::vector<uint8_t>> CommuteTbl;
+  std::vector<std::vector<uint8_t>> IndepTbl;
+
+  static uint32_t clampPc(const std::vector<Footprint> &Tbl, uint32_t Pc) {
+    uint32_t N = static_cast<uint32_t>(Tbl.size() - 1);
+    return Pc < N ? Pc : N;
+  }
+
   /// Packed-key layout (Enabled only under ValueBounds tuning) and the
   /// tuning observability counters. PackEscapes is mutated from const
   /// encode paths that run concurrently in the parallel checker.
   PackedLayout Packed;
   uint64_t LockIndepPairs = 0;
   mutable std::atomic<uint64_t> PackEscapes{0};
+
+  void buildRelationTables();
 
   void collectExprFootprint(ir::ExprRef E, Footprint &F) const;
   void collectLocFootprint(const ir::Loc &L, bool IsWrite,

@@ -70,6 +70,15 @@
 ///    re-derivation restores the canonical trace. Verdicts agree with
 ///    Off by the automorphism argument in docs/SYMMETRY.md; state counts
 ///    shrink by up to the orbit size.
+///  * CheckerConfig::BatchWidth >= 2 (the batched frontier engine,
+///    docs/BATCHING.md) keeps every clause: batching regroups sibling
+///    successors into SoA blocks for SIMD fingerprinting and batched
+///    visited probes but explores the same state set, so verdicts agree
+///    with BatchWidth == 1; a violation found batched is (with
+///    DeterministicCex) re-derived by a scalar sequential search, so the
+///    reported counterexample is byte-identical as well. State counts
+///    can differ only in which sibling a dedup is charged to, never in
+///    the Fresh total.
 ///  * VisitedMode::Fingerprint keeps both clauses, with one asterisk: if
 ///    two distinct states genuinely collide in 64 bits (probability
 ///    ~n^2/2^65, measurable via AuditFingerprints), which of the two the
@@ -187,7 +196,26 @@ struct CheckerConfig {
   /// escape hatch. BFS and the parallel engine always copy — their
   /// frontiers outlive the step that created them.
   bool UseUndoLog = true;
+  /// Successor batch width (docs/BATCHING.md). 1 (default) runs the
+  /// scalar engines bit-for-bit unchanged. >= 2 routes the exhaustive
+  /// phase through the batched frontier engine: up to BatchWidth
+  /// successors of one state are generated together into an SoA block,
+  /// then canonicalized, fingerprinted and probed against the visited
+  /// table as a batch (SIMD-accelerated where -DPSKETCH_SIMD allows).
+  /// Verdicts agree with BatchWidth == 1 by construction — batching only
+  /// changes the order siblings enter the visited table, never the
+  /// explored set — and under DeterministicCex (the default) a violation
+  /// found by a batched search is re-derived scalar, so the reported
+  /// counterexample is byte-identical to the BatchWidth == 1 trace.
+  /// Typical sweet spot: DefaultBatchWidth.
+  unsigned BatchWidth = 1;
 };
+
+/// The batch width `psketch_tool --batch` (and the benches) use when the
+/// caller asks for batching without naming a width: wide enough to
+/// amortize per-batch fixed costs and fill AVX2 lanes, small enough that
+/// a frame's worth of sibling states stays cache-resident.
+inline constexpr unsigned DefaultBatchWidth = 16;
 
 /// \returns the worker count \p Cfg resolves to: NumThreads, with 0
 /// mapped to std::thread::hardware_concurrency() (at least 1).

@@ -13,10 +13,17 @@
 /// collision audit — behave identically in either engine.
 ///
 /// Exact mode owns the full scheduler-relevant key (Machine::encodeState,
-/// 8 bytes per state word). Fingerprint mode stores only the 8-byte hash
-/// of that key; the audit (CheckerConfig::AuditFingerprints) additionally
-/// keeps a bounded side-table of full keys per fingerprint so a hash hit
-/// can be distinguished from a genuine revisit: a mismatch increments the
+/// 8 bytes per state word), stored in a FlatExactTable: an
+/// open-addressing slot array indexed by the state fingerprint plus a
+/// chunked arena of key bytes. Exactness never rests on the fingerprint
+/// (a slot hit is always confirmed by memcmp; a mismatch walks on) — the
+/// fingerprint only places the entry, which is what lets the batched
+/// probes software-prefetch the slot line and the key bytes across a
+/// whole batch of lanes (docs/BATCHING.md). Fingerprint mode stores only
+/// the 8-byte hash of the key; the audit
+/// (CheckerConfig::AuditFingerprints) additionally keeps a bounded
+/// side-table of full keys per fingerprint so a hash hit can be
+/// distinguished from a genuine revisit: a mismatch increments the
 /// collision counter and the state is explored anyway (Exact fallback).
 ///
 /// Every entry also carries the sleep-set mask the state was (last)
@@ -47,10 +54,15 @@
 #include "verify/Canon.h"
 #include "verify/ModelChecker.h"
 
+#include <cassert>
+#include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
 
 namespace psketch {
 namespace verify {
@@ -68,36 +80,207 @@ enum class InsertOutcome : uint8_t {
   Wake,  ///< revisit, but some previously-slept transitions must now run
 };
 
+/// Open-addressing exact-key store: the Exact-mode backing of
+/// VisitedCell. The slot array holds (fingerprint, entry index) pairs
+/// placed by linear probing on the fingerprint; the key bytes live in
+/// chunked arenas indexed by entry at a fixed stride (the first key's
+/// length — one machine, one encoding), so keys never move and inserts
+/// never allocate per key. A probe touches one slot cache line plus, on
+/// a fingerprint match, the key bytes — two dependent loads the batched
+/// probe sweeps expose to software prefetch (VisitedTable::
+/// insertMaskWordsBatch), overlapping across lanes the DRAM latency a
+/// scalar probe chain serializes. A fingerprint match is always
+/// confirmed by memcmp and a mismatch walks on, so dedup stays exact
+/// under any hash, including the test suite's forced-collision one.
+///
+/// Keys of any other length — a packed layout's out-of-range escapes
+/// render RawBytes+1 bytes where packed keys render KeyBytes
+/// (exec/Machine.h) — land in a side map with plain string equality:
+/// different lengths can never compare equal, so splitting by length
+/// preserves exact dedup, and escapes are rare enough (PackEscapes) that
+/// the map's extra cost never shows.
+class FlatExactTable {
+public:
+  static constexpr uint32_t Absent = ~0u;
+
+  /// Check-and-insert. \returns the entry's mask slot and whether the
+  /// key was freshly inserted; a fresh entry's mask starts as \p Mask0.
+  /// The pointer is valid until the next insert.
+  std::pair<uint64_t *, bool> findOrInsert(uint64_t Fp, std::string_view Key,
+                                           uint64_t Mask0) {
+    if (Slots.empty())
+      init(Key.size());
+    if (Key.size() != KeyLen) {
+      auto [It, New] = Odd.try_emplace(std::string(Key), Mask0);
+      return {&It->second, New};
+    }
+    if ((Count + 1) * 10 > Slots.size() * 7)
+      grow();
+    size_t M = Slots.size() - 1;
+    for (size_t I = Fp & M;; I = (I + 1) & M) {
+      Slot &S = Slots[I];
+      if (S.Idx == Absent) {
+        assert(Count < Absent && "flat table full");
+        S.Fp = Fp;
+        S.Idx = static_cast<uint32_t>(Count);
+        appendKey(Key);
+        Masks.push_back(Mask0);
+        ++Count;
+        return {&Masks.back(), true};
+      }
+      if (S.Fp == Fp && std::memcmp(keyPtr(S.Idx), Key.data(), KeyLen) == 0)
+        return {&Masks[S.Idx], false};
+    }
+  }
+
+  /// True when \p Key is present (no insertion).
+  bool find(uint64_t Fp, std::string_view Key) const {
+    if (Slots.empty())
+      return false;
+    if (Key.size() != KeyLen)
+      return Odd.count(std::string(Key)) != 0;
+    size_t M = Slots.size() - 1;
+    for (size_t I = Fp & M;; I = (I + 1) & M) {
+      const Slot &S = Slots[I];
+      if (S.Idx == Absent)
+        return false;
+      if (S.Fp == Fp && std::memcmp(keyPtr(S.Idx), Key.data(), KeyLen) == 0)
+        return true;
+    }
+  }
+
+  /// Prefetch stage 1: pull in \p Fp's slot line. Address arithmetic
+  /// only, so it is the first sweep of a batch.
+  void prefetchSlot(uint64_t Fp) const {
+    if (!Slots.empty())
+      __builtin_prefetch(&Slots[Fp & (Slots.size() - 1)]);
+  }
+
+  /// Pipeline stage 2: walk the probe chain for \p Fp and return the
+  /// key bytes a later findOrInsert would memcmp against, or null when
+  /// the window holds no fingerprint match. The walk's slot reads and
+  /// the volatile touches of the key's first and last lines are real
+  /// (demand) loads on purpose: a multi-hundred-MiB arena on 4 KiB
+  /// pages misses the TLB on essentially every probe, and hardware
+  /// drops __builtin_prefetch requests whose translation misses —
+  /// demand loads instead start the page walks, and independent lanes'
+  /// touches overlap in the out-of-order window. Bounded and
+  /// side-effect-free; chains longer than the window just lose the
+  /// warm-up, and the later real probe decides everything.
+  const char *touchKey(uint64_t Fp) const {
+    if (Slots.empty())
+      return nullptr;
+    size_t M = Slots.size() - 1;
+    size_t I = Fp & M;
+    for (unsigned P = 0; P < 8; ++P, I = (I + 1) & M) {
+      const Slot &S = Slots[I];
+      if (S.Idx == Absent)
+        return nullptr;
+      if (S.Fp == Fp) {
+        const char *K = keyPtr(S.Idx);
+        (void)*static_cast<const volatile char *>(K);
+        (void)*static_cast<const volatile char *>(K + (KeyLen - 1));
+        return K;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Pipeline stage 3: prefetch the interior lines of a key returned
+  /// by touchKey. Its pages are translated (or translating) after the
+  /// stage-2 touches, so these prefetches survive, and the whole
+  /// batch's key bytes stream at bandwidth instead of serializing
+  /// inside per-lane memcmp miss trains.
+  void prefetchKeyLines(const char *K) const {
+    for (size_t Off = 64; Off + 64 < KeyLen; Off += 64)
+      __builtin_prefetch(K + Off);
+  }
+
+private:
+  struct Slot {
+    uint64_t Fp;
+    uint32_t Idx; ///< arena entry, or Absent for an empty slot
+    uint32_t Pad;
+  };
+  /// 8 Ki keys per arena chunk: large enough to amortize the chunk
+  /// allocation, small enough that growth never copies key bytes.
+  static constexpr size_t KeysPerChunkLog2 = 13;
+
+
+  void init(size_t Len) {
+    KeyLen = Len;
+    Slots.assign(1024, Slot{0, Absent, 0});
+  }
+
+  void grow() {
+    std::vector<Slot> Old(Slots.size() * 2, Slot{0, Absent, 0});
+    Old.swap(Slots);
+    size_t M = Slots.size() - 1;
+    for (const Slot &S : Old) {
+      if (S.Idx == Absent)
+        continue;
+      size_t I = S.Fp & M;
+      while (Slots[I].Idx != Absent)
+        I = (I + 1) & M;
+      Slots[I] = S;
+    }
+  }
+
+  const char *keyPtr(uint32_t Idx) const {
+    return Arena[Idx >> KeysPerChunkLog2].get() +
+           (Idx & ((size_t(1) << KeysPerChunkLog2) - 1)) * KeyLen;
+  }
+
+  void appendKey(std::string_view Key) {
+    size_t Chunk = Count >> KeysPerChunkLog2;
+    if (Chunk == Arena.size())
+      Arena.push_back(std::make_unique<char[]>(
+          std::max<size_t>(1, KeyLen << KeysPerChunkLog2)));
+    std::memcpy(Arena[Chunk].get() +
+                    (Count & ((size_t(1) << KeysPerChunkLog2) - 1)) * KeyLen,
+                Key.data(), KeyLen);
+  }
+
+  std::vector<Slot> Slots; ///< power-of-two capacity
+  std::vector<std::unique_ptr<char[]>> Arena;
+  std::vector<uint64_t> Masks; ///< per entry: stored sleep mask
+  std::unordered_map<std::string, uint64_t> Odd; ///< off-stride keys -> mask
+  size_t Count = 0;
+  size_t KeyLen = 0;
+};
+
 /// One dedup domain: the whole table sequentially, one shard in the
 /// parallel engine. Not synchronized — callers lock around it.
+///
+/// Key contract: \p Key must carry the exact key bytes whenever the
+/// mode is Exact or the audit is on; a Fingerprint-mode call without
+/// audit may pass an empty view (the bytes are never read), which is
+/// what keeps that configuration allocation- and encoding-free.
 class VisitedCell {
 public:
-  /// Mask-aware check-and-insert. \p Sleep is the sleep mask the state is
-  /// being entered with (0 when sleep sets are off); on Wake, \p WakeOut
-  /// receives the transitions a prior visit slept through that this one
-  /// must explore. \p Fp is the state's fingerprint; \p KeyFn lazily
-  /// materializes the exact key (only called when this mode needs the
-  /// bytes, so Fingerprint mode without audit never allocates).
-  template <typename KeyFnT>
+  /// Mask-aware check-and-insert. \p Sleep is the sleep mask the state
+  /// is being entered with (0 when sleep sets are off); on Wake,
+  /// \p WakeOut receives the transitions a prior visit slept through
+  /// that this one must explore. \p Fp is the state's fingerprint: the
+  /// Fingerprint-mode key, the Exact-mode placement hint.
   InsertOutcome insertMask(VisitedMode Mode, bool Audit, uint64_t AuditBudget,
                            uint64_t Fp, uint64_t Sleep, uint64_t &WakeOut,
-                           KeyFnT &&KeyFn) {
+                           std::string_view Key) {
     uint64_t *Slot = nullptr;
     if (Mode == VisitedMode::Exact) {
-      auto [It, New] = Exact.try_emplace(KeyFn(), Sleep);
+      auto [MaskSlot, New] = Flat.findOrInsert(Fp, Key, Sleep);
       if (New) {
-        KeyBytes += It->first.size();
+        KeyBytes += Key.size();
         return InsertOutcome::Fresh;
       }
-      Slot = &It->second;
+      Slot = MaskSlot;
     } else {
       auto [It, New] = Fps.try_emplace(Fp, Sleep);
       if (New) {
         KeyBytes += sizeof(uint64_t);
         if (Audit && AuditEntries < AuditBudget) {
-          std::string Key = KeyFn();
           KeyBytes += Key.size();
-          AuditKeys[Fp].push_back(std::move(Key));
+          AuditKeys[Fp].emplace_back(Key);
           ++AuditEntries;
         }
         return InsertOutcome::Fresh;
@@ -111,7 +294,6 @@ public:
       if (Audit) {
         auto AIt = AuditKeys.find(Fp);
         if (AIt != AuditKeys.end()) {
-          std::string Key = KeyFn();
           bool Seen = false;
           for (const std::string &K : AIt->second)
             if (K == Key) {
@@ -121,7 +303,7 @@ public:
           if (!Seen) {
             ++Collisions;
             KeyBytes += Key.size();
-            AIt->second.push_back(std::move(Key));
+            AIt->second.emplace_back(Key);
             return InsertOutcome::Fresh;
           }
         }
@@ -129,42 +311,53 @@ public:
       }
       Slot = &It->second;
     }
-    // Genuine revisit: the prior visits explored everything outside the
-    // stored mask. Covered iff that includes everything outside Sleep.
-    uint64_t Stored = *Slot;
-    if ((Stored & ~Sleep) == 0)
-      return InsertOutcome::Prune;
-    WakeOut = Stored & ~Sleep; // slept then, needed now
-    *Slot = Stored & Sleep;    // strictly shrinks: re-expansion terminates
-    return InsertOutcome::Wake;
+    return resolveRevisit(*Slot, Sleep, WakeOut);
   }
 
   /// Plain check-and-insert (the mask-0 case). \returns true when the
   /// state was newly inserted (caller explores it), false on a revisit.
-  template <typename KeyFnT>
-  bool insert(VisitedMode Mode, bool Audit, uint64_t AuditBudget,
-              uint64_t Fp, KeyFnT &&KeyFn) {
+  bool insert(VisitedMode Mode, bool Audit, uint64_t AuditBudget, uint64_t Fp,
+              std::string_view Key) {
     uint64_t Wake = 0;
-    return insertMask(Mode, Audit, AuditBudget, Fp, /*Sleep=*/0, Wake,
-                      std::forward<KeyFnT>(KeyFn)) == InsertOutcome::Fresh;
+    return insertMask(Mode, Audit, AuditBudget, Fp, /*Sleep=*/0, Wake, Key) ==
+           InsertOutcome::Fresh;
   }
 
   /// Read-only membership probe (the parallel/BFS cycle proviso). In
   /// Fingerprint mode a collision can answer a false "yes", which only
   /// forces a sound full expansion.
-  template <typename KeyFnT>
-  bool contains(VisitedMode Mode, uint64_t Fp, KeyFnT &&KeyFn) const {
+  bool contains(VisitedMode Mode, uint64_t Fp, std::string_view Key) const {
     if (Mode == VisitedMode::Exact)
-      return Exact.count(KeyFn()) != 0;
+      return Flat.find(Fp, Key);
     return Fps.count(Fp) != 0;
   }
+
+  /// Exact-mode batched-probe pipeline stages (no-ops on an empty
+  /// table; meaningless but harmless in Fingerprint mode, where callers
+  /// skip them).
+  void prefetchSlot(uint64_t Fp) const { Flat.prefetchSlot(Fp); }
+  const char *touchKey(uint64_t Fp) const { return Flat.touchKey(Fp); }
+  void prefetchKeyLines(const char *K) const { Flat.prefetchKeyLines(K); }
 
   uint64_t collisions() const { return Collisions; }
   uint64_t keyBytes() const { return KeyBytes; }
 
 private:
-  std::unordered_map<std::string, uint64_t> Exact; ///< key -> sleep mask
-  std::unordered_map<uint64_t, uint64_t> Fps;      ///< fp -> sleep mask
+  /// The shared revisit tail: the prior visits explored everything
+  /// outside the stored mask; covered iff that includes everything
+  /// outside Sleep.
+  static InsertOutcome resolveRevisit(uint64_t &Slot, uint64_t Sleep,
+                                      uint64_t &WakeOut) {
+    uint64_t Stored = Slot;
+    if ((Stored & ~Sleep) == 0)
+      return InsertOutcome::Prune;
+    WakeOut = Stored & ~Sleep; // slept then, needed now
+    Slot = Stored & Sleep;     // strictly shrinks: re-expansion terminates
+    return InsertOutcome::Wake;
+  }
+
+  FlatExactTable Flat;                        ///< Exact-mode store
+  std::unordered_map<uint64_t, uint64_t> Fps; ///< fp -> sleep mask
   std::unordered_map<uint64_t, std::vector<std::string>> AuditKeys;
   uint64_t AuditEntries = 0;
   uint64_t Collisions = 0;
@@ -184,8 +377,7 @@ public:
   bool insert(const exec::Machine &M, const exec::State &S) {
     unsigned PermIdx = Canonicalizer::IdentityPerm;
     const int64_t *W = keyWords(S, PermIdx);
-    return Cell.insert(Mode, Audit, AuditBudget, fp(M, W),
-                       [&] { return M.encodeWords(W); });
+    return Cell.insert(Mode, Audit, AuditBudget, fp(M, W), keyView(M, W));
   }
 
   /// Mask-aware insert for the sleep-set DFS (file comment). Sleep/wake
@@ -198,9 +390,8 @@ public:
     uint64_t CSleep =
         Canon ? Canon->maskToCanonical(PermIdx, Sleep) : Sleep;
     uint64_t CWake = 0;
-    InsertOutcome Out =
-        Cell.insertMask(Mode, Audit, AuditBudget, fp(M, W), CSleep, CWake,
-                        [&] { return M.encodeWords(W); });
+    InsertOutcome Out = Cell.insertMask(Mode, Audit, AuditBudget, fp(M, W),
+                                        CSleep, CWake, keyView(M, W));
     if (Out == InsertOutcome::Wake)
       WakeOut = Canon ? Canon->maskFromCanonical(PermIdx, CWake) : CWake;
     return Out;
@@ -210,8 +401,94 @@ public:
   bool contains(const exec::Machine &M, const exec::State &S) const {
     unsigned PermIdx = Canonicalizer::IdentityPerm;
     const int64_t *W = keyWords(S, PermIdx);
-    return Cell.contains(Mode, fp(M, W), [&] { return M.encodeWords(W); });
+    return Cell.contains(Mode, fp(M, W), keyView(M, W));
   }
+
+  /// Batched mask-aware insert over an ALREADY-canonicalized word-major
+  /// block (the frontier engine's probe): lane K's canonical words sit in
+  /// \p B, its fingerprint — computed by the caller in one
+  /// fingerprintBatchWith(B, Lanes, hashFn(), ...) sweep, so one hash pass
+  /// serves both this table and the DFS on-stack set — in Fp[K], its
+  /// chosen automorphism in PermIdx[K], its raw-coordinate sleep mask in
+  /// Sleep[K]. Out[K] / WakeOut[K] match insertMask on lane K exactly.
+  /// Exact mode prefetches the batch's slot lines and key bytes first,
+  /// then gathers each lane into one reused scratch buffer and probes by
+  /// view, so revisits allocate nothing.
+  void insertMaskBatch(const exec::Machine &M, const exec::SchedBlock &B,
+                       unsigned Lanes, const uint64_t *Fp,
+                       const unsigned *PermIdx, const uint64_t *Sleep,
+                       InsertOutcome *Out, uint64_t *WakeOut) {
+    static thread_local std::vector<int64_t> Tmp;
+    Tmp.resize(B.numWords());
+    if (Mode == VisitedMode::Exact) {
+      static thread_local std::vector<const char *> Keys;
+      Keys.resize(Lanes);
+      for (unsigned K = 0; K < Lanes; ++K)
+        Cell.prefetchSlot(Fp[K]);
+      for (unsigned K = 0; K < Lanes; ++K)
+        Keys[K] = Cell.touchKey(Fp[K]);
+      for (unsigned K = 0; K < Lanes; ++K)
+        if (Keys[K])
+          Cell.prefetchKeyLines(Keys[K]);
+    }
+    for (unsigned K = 0; K < Lanes; ++K) {
+      uint64_t CSleep =
+          Canon ? Canon->maskToCanonical(PermIdx[K], Sleep[K]) : Sleep[K];
+      uint64_t CWake = 0;
+      std::string_view Key;
+      if (Mode == VisitedMode::Exact || Audit) {
+        B.gatherLane(K, Tmp.data());
+        Key = M.encodeWordsView(Tmp.data());
+      }
+      InsertOutcome O = Cell.insertMask(Mode, Audit, AuditBudget, Fp[K],
+                                        CSleep, CWake, Key);
+      Out[K] = O;
+      WakeOut[K] =
+          O == InsertOutcome::Wake
+              ? (Canon ? Canon->maskFromCanonical(PermIdx[K], CWake) : CWake)
+              : 0;
+    }
+  }
+
+  /// Batched mask-aware insert straight from per-lane scheduler words —
+  /// the no-canonicalization fast path (FrontierBatch::probeMask): no
+  /// SoA block involved at all. In Exact mode, three sweeps — slot
+  /// prefetch, key prefetch, probe — overlap the probe chain's
+  /// dependent cache misses across the batch. Lanes are probed in
+  /// order, so an intra-batch duplicate resolves exactly like
+  /// sequential insertMask calls; with no canonicalizer, sleep masks
+  /// need no coordinate translation.
+  void insertMaskWordsBatch(const exec::Machine &M,
+                            const int64_t *const *W, const uint64_t *Fp,
+                            const uint64_t *Sleep, unsigned Lanes,
+                            InsertOutcome *Out, uint64_t *WakeOut) {
+    assert(!Canon && "canonicalized batches go through insertMaskBatch");
+    if (Mode == VisitedMode::Exact) {
+      static thread_local std::vector<const char *> Keys;
+      Keys.resize(Lanes);
+      for (unsigned K = 0; K < Lanes; ++K)
+        Cell.prefetchSlot(Fp[K]);
+      for (unsigned K = 0; K < Lanes; ++K)
+        Keys[K] = Cell.touchKey(Fp[K]);
+      for (unsigned K = 0; K < Lanes; ++K)
+        if (Keys[K])
+          Cell.prefetchKeyLines(Keys[K]);
+    }
+    for (unsigned K = 0; K < Lanes; ++K) {
+      uint64_t Wake = 0;
+      Out[K] = Cell.insertMask(Mode, Audit, AuditBudget, Fp[K], Sleep[K],
+                               Wake, keyView(M, W[K]));
+      WakeOut[K] = Out[K] == InsertOutcome::Wake ? Wake : 0;
+    }
+  }
+
+  /// The injected word-hash (batched callers pre-compute lane
+  /// fingerprints with it).
+  StateHashFn hashFn() const { return Hash; }
+
+  /// Which dedup mode the table runs (batched callers route their
+  /// probe through it).
+  VisitedMode mode() const { return Mode; }
 
   uint64_t collisions() const { return Cell.collisions(); }
   uint64_t keyBytes() const { return Cell.keyBytes(); }
@@ -224,10 +501,16 @@ private:
   uint64_t fp(const exec::Machine &M, const int64_t *Words) const {
     // Routed through the Machine so a packed layout (exec/Tuning.h)
     // hashes the packed words; without packing this is Hash(Words,
-    // schedWords()) exactly.
-    return Mode == VisitedMode::Fingerprint
-               ? M.fingerprintWordsWith(Words, Hash)
-               : 0;
+    // schedWords()) exactly. Both modes hash: the Fingerprint key, the
+    // Exact placement hint.
+    return M.fingerprintWordsWith(Words, Hash);
+  }
+
+  std::string_view keyView(const exec::Machine &M, const int64_t *W) const {
+    // The exact bytes are only needed by Exact mode or the audit
+    // (VisitedCell's key contract); everyone else skips the encoding.
+    return Mode == VisitedMode::Exact || Audit ? M.encodeWordsView(W)
+                                               : std::string_view();
   }
 
   VisitedMode Mode;
@@ -242,7 +525,7 @@ private:
 /// count only needs to beat the worker count comfortably; 64 keeps
 /// contention negligible without wasting cache. The fingerprint doubles
 /// as the shard index (it is computed in both modes — in Exact mode it
-/// replaces the std::hash the shard selector used to need).
+/// also places the entry in the shard's flat table).
 class ShardedVisited {
 public:
   explicit ShardedVisited(const CheckerConfig &Cfg,
@@ -262,8 +545,7 @@ public:
     uint64_t Fp = M.fingerprintWordsWith(W, Hash);
     ShardT &Shard = Shards[Fp & (NumShards - 1)];
     std::lock_guard<std::mutex> Lock(Shard.Mu);
-    return Shard.Cell.insert(Mode, Audit, AuditBudget, Fp,
-                             [&] { return M.encodeWords(W); });
+    return Shard.Cell.insert(Mode, Audit, AuditBudget, Fp, keyView(M, W));
   }
 
   /// True when \p S is already in the table. Used by the parallel ample
@@ -279,8 +561,69 @@ public:
     uint64_t Fp = M.fingerprintWordsWith(W, Hash);
     const ShardT &Shard = Shards[Fp & (NumShards - 1)];
     std::lock_guard<std::mutex> Lock(Shard.Mu);
-    return Shard.Cell.contains(Mode, Fp, [&] { return M.encodeWords(W); });
+    return Shard.Cell.contains(Mode, Fp, keyView(M, W));
   }
+
+  /// Batched check-and-insert over an ALREADY-canonicalized word-major
+  /// block: lane fingerprints — computed by the caller in one
+  /// fingerprintBatchWith(B, Lanes, hashFn(), ...) sweep — pick the
+  /// shards (in Exact mode too, exactly like insert()), lanes are grouped
+  /// by target shard, and each touched shard is locked exactly once per
+  /// batch — amortizing the per-state lock/unlock the scalar path pays.
+  /// Within a shard group the Exact probe runs the same
+  /// prefetch-slots/prefetch-keys/probe pipeline as the sequential
+  /// batch. Fresh[K] matches what insert() on lane K would have
+  /// returned. \p AoS, when non-null, points at the lanes' row-major
+  /// states and must hold the same words as \p B (the
+  /// no-canonicalization case): keys are then viewed straight from the
+  /// states, skipping the per-lane SoA gather.
+  void insertBatch(const exec::Machine &M, const exec::SchedBlock &B,
+                   unsigned Lanes, const uint64_t *Fp, uint8_t *Fresh,
+                   const exec::State *AoS = nullptr) {
+    static thread_local std::vector<int64_t> Tmp;
+    static thread_local std::vector<uint8_t> Done;
+    static thread_local std::vector<unsigned> Group;
+    Tmp.resize(B.numWords());
+    Done.assign(Lanes, 0);
+    for (unsigned K = 0; K < Lanes; ++K) {
+      if (Done[K])
+        continue;
+      size_t ShardIdx = Fp[K] & (NumShards - 1);
+      Group.clear();
+      for (unsigned J = K; J < Lanes; ++J)
+        if (!Done[J] && (Fp[J] & (NumShards - 1)) == ShardIdx) {
+          Done[J] = 1;
+          Group.push_back(J);
+        }
+      ShardT &Shard = Shards[ShardIdx];
+      std::lock_guard<std::mutex> Lock(Shard.Mu);
+      if (Mode == VisitedMode::Exact) {
+        for (unsigned J : Group)
+          Shard.Cell.prefetchSlot(Fp[J]);
+        for (unsigned J : Group)
+          if (const char *K = Shard.Cell.touchKey(Fp[J]))
+            Shard.Cell.prefetchKeyLines(K);
+      }
+      for (unsigned J : Group) {
+        std::string_view Key;
+        if (Mode == VisitedMode::Exact || Audit) {
+          const int64_t *W;
+          if (AoS) {
+            W = AoS[J].words();
+          } else {
+            B.gatherLane(J, Tmp.data());
+            W = Tmp.data();
+          }
+          Key = M.encodeWordsView(W);
+        }
+        Fresh[J] = Shard.Cell.insert(Mode, Audit, AuditBudget, Fp[J], Key);
+      }
+    }
+  }
+
+  /// The injected word-hash (batched callers pre-compute lane
+  /// fingerprints with it).
+  StateHashFn hashFn() const { return Hash; }
 
   uint64_t collisions() const {
     uint64_t Total = 0;
@@ -305,6 +648,12 @@ private:
     mutable std::mutex Mu;
     VisitedCell Cell;
   };
+
+  std::string_view keyView(const exec::Machine &M, const int64_t *W) const {
+    return Mode == VisitedMode::Exact || Audit ? M.encodeWordsView(W)
+                                               : std::string_view();
+  }
+
   VisitedMode Mode;
   bool Audit;
   uint64_t AuditBudget;
