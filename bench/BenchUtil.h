@@ -132,6 +132,13 @@ public:
     add(Key, Array + "]");
     return *this;
   }
+  JsonObject &field(const char *Key, const std::vector<double> &Values) {
+    std::string Array = "[";
+    for (size_t I = 0; I < Values.size(); ++I)
+      Array += (I ? "," : "") + format("%.6f", Values[I]);
+    add(Key, Array + "]");
+    return *this;
+  }
 
   std::string str() const { return "{" + Buf + "}"; }
 
@@ -259,6 +266,26 @@ inline JsonObject fig9Json(const SuiteEntry &E, const cegis::CegisResult &R,
       .field("checker_workers", R.Stats.CheckerWorkers)
       .field("checker_steals", R.Stats.CheckerSteals)
       .field("per_worker_states", R.Stats.PerWorkerStates);
+  // Per-iteration solver telemetry (CegisStats::SolveLog): one entry per
+  // candidate-proposing SAT solve, so warm-start effects are visible per
+  // iteration instead of only in the Ssolve aggregate.
+  std::vector<double> SolveSeconds;
+  std::vector<uint64_t> SolveConflicts, SolveDecisions, SolveRestarts,
+      SolveLearnts;
+  for (const synth::SolveRecord &Rec : R.Stats.SolveLog) {
+    SolveSeconds.push_back(Rec.Seconds);
+    SolveConflicts.push_back(Rec.Conflicts);
+    SolveDecisions.push_back(Rec.Decisions);
+    SolveRestarts.push_back(Rec.Restarts);
+    SolveLearnts.push_back(Rec.LearntClauses);
+  }
+  O.field("solver_solves", static_cast<uint64_t>(R.Stats.SolveLog.size()))
+      .field("solver_probes", R.Stats.SolverProbes)
+      .field("ssolve_per_solve_s", SolveSeconds)
+      .field("solve_conflicts", SolveConflicts)
+      .field("solve_decisions", SolveDecisions)
+      .field("solve_restarts", SolveRestarts)
+      .field("solve_learnts", SolveLearnts);
   return O;
 }
 

@@ -28,11 +28,24 @@ static void census(const char *Name, std::unique_ptr<ir::Program> P,
   cegis::CegisConfig Cfg;
   Cfg.MaxIterations = 2000;
   Cfg.TimeLimitSeconds = 300;
+  // Explicit rather than the env-derived default: this bench exercises
+  // the scoped-exclusion path (enumeration under an activation-literal
+  // scope; cegis/Enumerate.cpp), which only engages with warm start on.
+  Cfg.SolverWarmStart = true;
   auto R = cegis::enumerateSolutions(*P, MaxSolutions, Cfg);
+  uint64_t Conflicts = 0;
+  for (const synth::SolveRecord &Rec : R.Stats.SolveLog)
+    Conflicts += Rec.Conflicts;
   std::printf("%-24s |C|=%-10s solutions=%zu%s itns=%u total=%.2fs\n", Name,
               P->candidateSpaceSize().str().c_str(), R.Solutions.size(),
               R.Exhausted ? " (all)" : "", R.Stats.Iterations,
               R.Stats.TotalSeconds);
+  std::printf("  solver: %zu solve(s), %llu probe(s), %llu conflict(s), "
+              "Ssolve %.3fs (scoped exclusions)\n",
+              R.Stats.SolveLog.size(),
+              static_cast<unsigned long long>(R.Stats.SolverProbes),
+              static_cast<unsigned long long>(Conflicts),
+              R.Stats.SsolveSeconds);
   uint64_t Best = ~0ull, Worst = 0;
   std::set<uint64_t> Classes;
   for (const auto &S : R.Solutions) {

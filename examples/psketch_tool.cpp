@@ -5,7 +5,8 @@
 //
 // Usage: psketch_tool [--lint] [--no-prescreen] [--jobs N] [--seed S]
 //                     [--visited exact|fingerprint] [--por off|local|ample]
-//                     [--symmetry on|off] [--absint on|off] [--stats]
+//                     [--symmetry on|off] [--absint on|off]
+//                     [--warm-start on|off] [--dump-cnf path] [--stats]
 //                     [file.psk ...]
 //
 // Default mode parses one mini-PSketch source file, runs concurrent CEGIS
@@ -27,9 +28,16 @@
 // thread-modular abstract interpreter (on, the default, interval-refutes
 // candidates without verifier calls and tunes the Machine with proven
 // bounds and locksets — see docs/ANALYSIS.md; verdicts are identical
-// either way); --stats prints the checker's observability
-// counters in one aligned block after the run. Bad values are typed
-// diagnostics with a nonzero exit, like every other usage error.
+// either way); --warm-start toggles the synthesizer's warm-started
+// incremental SAT core (on, the default, continues one CDCL search
+// across CEGIS iterations — see docs/SOLVER.md; off reproduces the
+// from-scratch solver trajectory; the verdict is identical either way);
+// --dump-cnf writes the live incremental SAT instance as DIMACS (with a
+// hole-variable comment map) when the run finishes, for offline triage;
+// --stats prints the checker's observability counters and the
+// per-iteration solver telemetry in one aligned block after the run.
+// Bad values are typed diagnostics with a nonzero exit, like every
+// other usage error.
 //
 // --lint runs the frontend validator and all three analysis passes over
 // every given file, prints the diagnostics, and skips synthesis. Exit
@@ -242,6 +250,24 @@ bool parseAbsInt(const char *Text, bool &Out) {
   return false;
 }
 
+/// Parses the --warm-start mode argument. \returns false after printing
+/// a typed diagnostic when the value is missing or not a known mode.
+bool parseWarmStart(const char *Text, bool &Out) {
+  if (Text && std::strcmp(Text, "on") == 0) {
+    Out = true;
+    return true;
+  }
+  if (Text && std::strcmp(Text, "off") == 0) {
+    Out = false;
+    return true;
+  }
+  printDiag({analysis::Severity::Error, "cli",
+             std::string("--warm-start: bad value '") + (Text ? Text : "") +
+                 "' (expected 'on' or 'off')",
+             ""});
+  return false;
+}
+
 /// --stats: the checker/CEGIS observability counters, one aligned block.
 void printStats(const cegis::CegisStats &S) {
   std::printf("stats:\n");
@@ -263,6 +289,30 @@ void printStats(const cegis::CegisStats &S) {
   std::printf("  %-20s %u\n", "TightenedBits", S.TightenedBits);
   std::printf("  %-20s %llu\n", "LockIndepPairs",
               static_cast<unsigned long long>(S.LockIndepPairs));
+  std::printf("  %-20s %zu\n", "SolverSolves", S.SolveLog.size());
+  std::printf("  %-20s %llu\n", "SolverProbes",
+              static_cast<unsigned long long>(S.SolverProbes));
+  uint64_t Conflicts = 0, Restarts = 0;
+  for (const synth::SolveRecord &Rec : S.SolveLog) {
+    Conflicts += Rec.Conflicts;
+    Restarts += Rec.Restarts;
+  }
+  std::printf("  %-20s %llu\n", "SolverConflicts",
+              static_cast<unsigned long long>(Conflicts));
+  std::printf("  %-20s %llu\n", "SolverRestarts",
+              static_cast<unsigned long long>(Restarts));
+  if (!S.SolveLog.empty()) {
+    std::printf("  per-solve Ssolve (s / conflicts / decisions / restarts / "
+                "learnts / result):\n");
+    for (size_t I = 0; I < S.SolveLog.size(); ++I) {
+      const synth::SolveRecord &Rec = S.SolveLog[I];
+      std::printf("    #%-3zu %8.4f %8llu %9llu %5llu %8zu %s\n", I,
+                  Rec.Seconds, static_cast<unsigned long long>(Rec.Conflicts),
+                  static_cast<unsigned long long>(Rec.Decisions),
+                  static_cast<unsigned long long>(Rec.Restarts),
+                  Rec.LearntClauses, Rec.Sat ? "sat" : "unsat");
+    }
+  }
 }
 
 /// Parses the --visited mode argument. \returns false after printing a
@@ -287,6 +337,8 @@ bool parseVisited(const char *Text, verify::VisitedMode &Out) {
 
 int main(int Argc, char **Argv) {
   bool Lint = false, Prescreen = true, Stats = false, AbsInt = true;
+  bool WarmStart = synth::defaultWarmStart();
+  std::string DumpCnfPath;
   uint64_t Jobs = 1, Seed = 1, Batch = 1;
   verify::VisitedMode Visited = verify::VisitedMode::Exact;
   verify::PorMode Por = verify::PorMode::Ample;
@@ -329,6 +381,26 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(Argv[I], "--absint=", 9) == 0) {
       if (!parseAbsInt(Argv[I] + 9, AbsInt))
         return 1;
+    } else if (std::strcmp(Argv[I], "--warm-start") == 0) {
+      if (!parseWarmStart(I + 1 < Argc ? Argv[++I] : nullptr, WarmStart))
+        return 1;
+    } else if (std::strncmp(Argv[I], "--warm-start=", 13) == 0) {
+      if (!parseWarmStart(Argv[I] + 13, WarmStart))
+        return 1;
+    } else if (std::strcmp(Argv[I], "--dump-cnf") == 0) {
+      if (I + 1 >= Argc || !*Argv[I + 1]) {
+        printDiag({analysis::Severity::Error, "cli",
+                   "--dump-cnf requires an output path", ""});
+        return 1;
+      }
+      DumpCnfPath = Argv[++I];
+    } else if (std::strncmp(Argv[I], "--dump-cnf=", 11) == 0) {
+      DumpCnfPath = Argv[I] + 11;
+      if (DumpCnfPath.empty()) {
+        printDiag({analysis::Severity::Error, "cli",
+                   "--dump-cnf requires an output path", ""});
+        return 1;
+      }
     } else if (std::strcmp(Argv[I], "--batch") == 0) {
       if (!parseUnsigned("--batch", I + 1 < Argc ? Argv[++I] : nullptr,
                          1u << 12, Batch))
@@ -344,7 +416,8 @@ int main(int Argc, char **Argv) {
                    "[--jobs N] [--seed S] [--batch N] "
                    "[--visited exact|fingerprint] "
                    "[--por off|local|ample] "
-                   "[--symmetry on|off] [--absint on|off] [--stats] "
+                   "[--symmetry on|off] [--absint on|off] "
+                   "[--warm-start on|off] [--dump-cnf path] [--stats] "
                    "[file.psk ...]\n");
       return 1;
     } else
@@ -411,6 +484,11 @@ int main(int Argc, char **Argv) {
   Cfg.Analysis.AbsInt = AbsInt;
   if (!AbsInt)
     std::printf("cegis: abstract-interpretation screen off (default: on)\n");
+  Cfg.SolverWarmStart = WarmStart;
+  if (!WarmStart)
+    std::printf("synth: warm-started solver off (default: on) — "
+                "from-scratch solves\n");
+  Cfg.DumpCnfPath = DumpCnfPath;
   Cfg.Log = [](const std::string &Message) {
     std::printf("  %s\n", Message.c_str());
   };

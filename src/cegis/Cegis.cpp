@@ -13,6 +13,8 @@
 #include "support/StrUtil.h"
 #include "support/Timer.h"
 
+#include <fstream>
+
 using namespace psketch;
 using namespace psketch::cegis;
 using exec::Machine;
@@ -88,6 +90,22 @@ void accumulateCheckerStats(CegisStats &Stats,
     Stats.PerWorkerStates[I] += Check.PerWorkerStates[I];
 }
 
+/// Writes the live SAT instance as annotated DIMACS when the caller
+/// asked for it (CegisConfig::DumpCnfPath / psketch_tool --dump-cnf).
+void maybeDumpCnf(const CegisConfig &Cfg, synth::InductiveSynth &Synth) {
+  if (Cfg.DumpCnfPath.empty())
+    return;
+  std::ofstream Out(Cfg.DumpCnfPath);
+  if (!Out) {
+    if (Cfg.Log)
+      Cfg.Log("dump-cnf: cannot open " + Cfg.DumpCnfPath);
+    return;
+  }
+  Out << Synth.dumpDimacs();
+  if (Cfg.Log)
+    Cfg.Log("dump-cnf: wrote " + Cfg.DumpCnfPath);
+}
+
 } // namespace
 
 ConcurrentCegis::ConcurrentCegis(ir::Program &P, CegisConfig Cfg)
@@ -102,7 +120,9 @@ CegisResult ConcurrentCegis::run() {
   CegisResult R;
   R.Stats.VmodelSeconds += FlattenSeconds;
 
-  synth::InductiveSynth Synth(FP);
+  synth::SynthOptions SynthOpts;
+  SynthOpts.WarmStart = Cfg.SolverWarmStart;
+  synth::InductiveSynth Synth(FP, SynthOpts);
   bool Proved = applyPrescreen(P, FP, Cfg, Synth, R);
 
   while (!Proved) {
@@ -194,6 +214,9 @@ CegisResult ConcurrentCegis::run() {
   R.Stats.SmodelSeconds = Synth.stats().ModelSeconds;
   R.Stats.GateCount = Synth.stats().GateCount;
   R.Stats.ClauseCount = Synth.stats().ClauseCount;
+  R.Stats.SolveLog = Synth.stats().Solves;
+  R.Stats.SolverProbes = Synth.stats().Probes;
+  maybeDumpCnf(Cfg, Synth);
   R.Stats.TotalSeconds = Total.seconds();
   R.Stats.PeakMemoryMiB = peakRSSMiB();
   return R;
@@ -230,7 +253,9 @@ CegisResult SequentialCegis::run() {
   CegisResult R;
   R.Stats.VmodelSeconds += FlattenSeconds;
 
-  synth::InductiveSynth Synth(FP);
+  synth::SynthOptions SynthOpts;
+  SynthOpts.WarmStart = Cfg.SolverWarmStart;
+  synth::InductiveSynth Synth(FP, SynthOpts);
   bool Proved = applyPrescreen(P, FP, Cfg, Synth, R);
 
   while (!Proved) {
@@ -288,6 +313,9 @@ CegisResult SequentialCegis::run() {
   R.Stats.SmodelSeconds = Synth.stats().ModelSeconds;
   R.Stats.GateCount = Synth.stats().GateCount;
   R.Stats.ClauseCount = Synth.stats().ClauseCount;
+  R.Stats.SolveLog = Synth.stats().Solves;
+  R.Stats.SolverProbes = Synth.stats().Probes;
+  maybeDumpCnf(Cfg, Synth);
   R.Stats.TotalSeconds = Total.seconds();
   R.Stats.PeakMemoryMiB = peakRSSMiB();
   return R;

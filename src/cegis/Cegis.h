@@ -74,6 +74,19 @@ struct CegisConfig {
   /// soundness bug) and the candidate is handled per the concrete
   /// verdict. Used by the bench_absint gate.
   bool AbsIntAudit = false;
+  /// When true (the default, overridable via PSKETCH_WARM_START=off),
+  /// the synthesizer's SAT solver runs warm-started: consecutive solves
+  /// continue one search (trail reuse + replay, persistent Luby round,
+  /// between-solve inprocessing; docs/SOLVER.md), and enumeration routes
+  /// its exclusions through an assumption scope instead of permanent
+  /// clauses. Off reproduces the from-scratch solver trajectory
+  /// bit-identically. Verdicts never depend on this flag — only solver
+  /// work does (gated by bench_sat_incremental).
+  bool SolverWarmStart = synth::defaultWarmStart();
+  /// When nonempty, the live incremental SAT instance is dumped as
+  /// DIMACS (with a hole-variable comment map) to this path when the run
+  /// finishes — psketch_tool --dump-cnf.
+  std::string DumpCnfPath;
   /// Optional progress sink (iteration summaries).
   std::function<void(const std::string &)> Log;
 };
@@ -138,6 +151,13 @@ struct CegisStats {
   uint64_t PackEscapes = 0;
   double AbsIntSeconds = 0.0;
   uint64_t AbsIntFalsePrunes = 0;
+  /// Per-iteration solver telemetry: one record per candidate-proposing
+  /// SAT solve (synth::SolveRecord — seconds, conflicts, decisions,
+  /// restarts, learnt-DB size). psketch_tool --stats prints these and the
+  /// fig9/table1 JSON rows carry them, so the warm-start win is visible
+  /// per iteration, not just in aggregate.
+  std::vector<synth::SolveRecord> SolveLog;
+  uint64_t SolverProbes = 0; ///< assumption-only what-if queries
 };
 
 /// A finished run.

@@ -125,7 +125,7 @@ void foldCheck(CegisStats &Stats, const verify::CheckResult &Check) {
 /// The original strictly-serial loop: propose, verify, learn, repeat.
 /// Kept as the exact Jobs == 1 behaviour.
 void enumerateSerial(const flat::FlatProgram &FP, synth::InductiveSynth &Synth,
-                     unsigned MaxSolutions, const CegisConfig &Cfg,
+                     unsigned MaxSolutions, const CegisConfig &Cfg, int Scope,
                      const WallTimer &Total, EnumerateResult &R) {
   while (R.Solutions.size() < MaxSolutions) {
     if (R.Stats.Iterations >= Cfg.MaxIterations ||
@@ -156,13 +156,13 @@ void enumerateSerial(const flat::FlatProgram &FP, synth::InductiveSynth &Synth,
                        R.Solutions.size() + 1,
                        static_cast<unsigned long long>(S.Cost)));
       R.Solutions.push_back(std::move(S));
-      Synth.excludeCandidate(Candidate);
+      Synth.excludeCandidate(Candidate, Scope);
       continue;
     }
     if (Cfg.LearnFromTraces)
       Synth.addTrace(*Check.Cex);
     else
-      Synth.excludeCandidate(Candidate);
+      Synth.excludeCandidate(Candidate, Scope);
   }
 }
 
@@ -180,7 +180,7 @@ void enumerateSerial(const flat::FlatProgram &FP, synth::InductiveSynth &Synth,
 /// its failing members are learned.
 void enumerateBatched(const flat::FlatProgram &FP,
                       synth::InductiveSynth &Synth, unsigned MaxSolutions,
-                      const CegisConfig &Cfg, unsigned Jobs,
+                      const CegisConfig &Cfg, unsigned Jobs, int Scope,
                       const WallTimer &Total, EnumerateResult &R) {
   verify::CheckerConfig PerCandidate = Cfg.Checker;
   PerCandidate.NumThreads = 1; // one worker per in-flight candidate
@@ -204,7 +204,7 @@ void enumerateBatched(const flat::FlatProgram &FP,
         SpaceDry = true;
         break;
       }
-      Synth.excludeCandidate(C);
+      Synth.excludeCandidate(C, Scope);
       Candidates.push_back(std::move(C));
     }
     if (Candidates.empty())
@@ -256,13 +256,27 @@ EnumerateResult psketch::cegis::enumerateSolutions(ir::Program &P,
   EnumerateResult R;
 
   flat::FlatProgram FP = flat::flatten(P);
-  synth::InductiveSynth Synth(FP);
+  synth::SynthOptions SynthOpts;
+  SynthOpts.WarmStart = Cfg.SolverWarmStart;
+  synth::InductiveSynth Synth(FP, SynthOpts);
+
+  // With warm start on, enumeration exclusions live in an activation-
+  // literal scope: every solve assumes the scope's literal, so the
+  // exclusions bind exactly like permanent clauses, but the instance is
+  // left clean for other users (and the guarded clauses are swept once
+  // the scope closes). Run to exhaustion the enumerated set is the same
+  // either way — the exclusions are semantically identical while the
+  // scope is open (test_sat_incremental gates this).
+  int Scope = Cfg.SolverWarmStart ? static_cast<int>(Synth.openScope()) : -1;
 
   unsigned Jobs = verify::resolvedNumThreads(Cfg.Checker);
   if (Jobs <= 1)
-    enumerateSerial(FP, Synth, MaxSolutions, Cfg, Total, R);
+    enumerateSerial(FP, Synth, MaxSolutions, Cfg, Scope, Total, R);
   else
-    enumerateBatched(FP, Synth, MaxSolutions, Cfg, Jobs, Total, R);
+    enumerateBatched(FP, Synth, MaxSolutions, Cfg, Jobs, Scope, Total, R);
+
+  if (Scope >= 0)
+    Synth.closeScope(static_cast<unsigned>(Scope));
 
   std::sort(R.Solutions.begin(), R.Solutions.end(),
             [](const Solution &A, const Solution &B) {
@@ -271,6 +285,8 @@ EnumerateResult psketch::cegis::enumerateSolutions(ir::Program &P,
   R.Stats.Resolvable = !R.Solutions.empty();
   R.Stats.SsolveSeconds = Synth.stats().SolveSeconds;
   R.Stats.SmodelSeconds = Synth.stats().ModelSeconds;
+  R.Stats.SolveLog = Synth.stats().Solves;
+  R.Stats.SolverProbes = Synth.stats().Probes;
   R.Stats.TotalSeconds = Total.seconds();
   R.Stats.PeakMemoryMiB = peakRSSMiB();
   return R;

@@ -68,14 +68,28 @@ bool psketch::sat::parseDimacs(const std::string &Text, Cnf &CnfOut,
   return true;
 }
 
-std::string psketch::sat::writeDimacs(const Cnf &Formula) {
-  std::string Out =
-      format("p cnf %d %zu\n", Formula.NumVars, Formula.Clauses.size());
+std::string psketch::sat::writeDimacs(const Cnf &Formula,
+                                      const std::vector<std::string> &Comments) {
+  std::string Out;
+  for (const std::string &Comment : Comments)
+    Out += "c " + Comment + "\n";
+  Out += format("p cnf %d %zu\n", Formula.NumVars, Formula.Clauses.size());
   for (const std::vector<Lit> &Clause : Formula.Clauses) {
     for (Lit L : Clause)
       Out += format("%d ", (L.var() + 1) * (L.sign() ? -1 : 1));
     Out += "0\n";
   }
+  return Out;
+}
+
+std::string psketch::sat::writeDimacs(const Cnf &Formula) {
+  return writeDimacs(Formula, {});
+}
+
+Cnf psketch::sat::exportCnf(const Solver &S) {
+  Cnf Out;
+  Out.NumVars = S.numVars();
+  S.exportClauses(Out.Clauses);
   return Out;
 }
 

@@ -36,8 +36,18 @@ struct Cnf {
 /// header's counts are advisory.
 bool parseDimacs(const std::string &Text, Cnf &CnfOut, std::string &ErrorOut);
 
-/// Renders \p Formula as DIMACS text.
+/// Renders \p Formula as DIMACS text. Each entry of \p Comments is
+/// emitted as a leading "c " line (used for the hole-variable map when
+/// dumping a live synthesis instance).
+std::string writeDimacs(const Cnf &Formula,
+                        const std::vector<std::string> &Comments);
 std::string writeDimacs(const Cnf &Formula);
+
+/// Snapshots \p S's live instance as a portable formula: the root-level
+/// facts as unit clauses plus every problem clause (learnts are implied
+/// and omitted). Equisatisfiable with, and model-equivalent to,
+/// everything added to the solver so far.
+Cnf exportCnf(const Solver &S);
 
 /// Loads \p Formula into \p SolverOut, creating variables as needed.
 /// \returns false if the formula is trivially unsatisfiable during load.

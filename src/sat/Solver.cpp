@@ -139,20 +139,25 @@ void Solver::detachClause(Clause *C) {
 }
 
 bool Solver::addClause(std::vector<Lit> Lits) {
-  cancelUntil(0);
+  if (!WarmStart)
+    cancelUntil(0);
   if (!Ok)
     return false;
 
   // Normalize: sort, deduplicate, detect tautologies, drop root-false
-  // literals, and notice root-true literals.
+  // literals, and notice root-true literals. Under warm start the trail
+  // may be live, so only root-level (level-0) assignments may simplify
+  // the clause — higher-level assignments are search state, not facts.
+  // At decision level 0 rootValue() and value() coincide, so the legacy
+  // path is unchanged.
   std::sort(Lits.begin(), Lits.end());
   std::vector<Lit> Kept;
   Lit Prev = litUndef();
   for (Lit L : Lits) {
     assert(L.var() < numVars() && "clause mentions unknown variable");
-    if (value(L) == LBool::True || L == ~Prev)
+    if (rootValue(L) == LBool::True || L == ~Prev)
       return true; // clause is already satisfied / tautological
-    if (value(L) == LBool::False || L == Prev)
+    if (rootValue(L) == LBool::False || L == Prev)
       continue; // literal can never help / duplicate
     Kept.push_back(L);
     Prev = L;
@@ -162,12 +167,10 @@ bool Solver::addClause(std::vector<Lit> Lits) {
     Ok = false;
     return false;
   }
-  if (Kept.size() == 1) {
-    uncheckedEnqueue(Kept[0], nullptr);
-    if (propagate() != nullptr)
-      Ok = false;
-    return Ok;
-  }
+  if (Kept.size() == 1)
+    return addUnitClause(Kept[0]);
+  if (decisionLevel() > 0)
+    return attachWarm(std::move(Kept)); // warm start with a live trail
 
   Clause *C = new Clause();
   C->Lits = std::move(Kept);
@@ -175,6 +178,111 @@ bool Solver::addClause(std::vector<Lit> Lits) {
   ++NumProblemClauses;
   attachClause(C);
   return true;
+}
+
+bool Solver::addUnitClause(Lit L) {
+  // Units are root facts: they always live at decision level 0, where
+  // the trail records them without a stored clause. Under warm start the
+  // undone decisions are saved first so the next search can replay them.
+  if (decisionLevel() > 0) {
+    saveReplay();
+    cancelUntil(0);
+    if (value(L) == LBool::True)
+      return true;
+    if (value(L) == LBool::False) {
+      Ok = false;
+      return false;
+    }
+  }
+  uncheckedEnqueue(L, nullptr);
+  if (propagate() != nullptr)
+    Ok = false;
+  return Ok;
+}
+
+bool Solver::attachWarm(std::vector<Lit> Kept) {
+  // Adding a clause while the trail is live (docs/SOLVER.md). The watches
+  // go on the two "best" literals — non-false ones first, then the
+  // deepest false levels, so a future backtrack un-falsifies the watched
+  // slots first — and the solver backtracks only as far as the clause
+  // forces: not at all when two literals are non-false, an in-place
+  // propagation when the clause is unit under the trail, and past the
+  // deepest false level when it is falsified outright.
+  auto WatchRank = [this](Lit L) {
+    return value(L) == LBool::False ? Level[L.var()] : numVars() + 1;
+  };
+  auto PlaceWatches = [&]() {
+    for (size_t Slot = 0; Slot < 2; ++Slot) {
+      size_t Best = Slot;
+      for (size_t I = Slot + 1; I < Kept.size(); ++I)
+        if (WatchRank(Kept[I]) > WatchRank(Kept[Best]))
+          Best = I;
+      std::swap(Kept[Slot], Kept[Best]);
+    }
+  };
+
+  PlaceWatches();
+  if (value(Kept[0]) == LBool::False) {
+    // Falsified under the current trail: undo to the deepest level where
+    // the clause regains an unassigned literal. When the two deepest
+    // false literals share a level, backtracking below it frees both.
+    saveReplay();
+    int Deepest = Level[Kept[0].var()];
+    int Second = Level[Kept[1].var()];
+    cancelUntil(std::max(Second == Deepest ? Deepest - 1 : Second, 0));
+    PlaceWatches();
+  }
+
+  Clause *C = new Clause();
+  C->Lits = std::move(Kept);
+  Problem.push_back(C);
+  ++NumProblemClauses;
+  attachClause(C);
+
+  const Clause &Ref = *C;
+  if (value(Ref[0]) == LBool::Undef && value(Ref[1]) == LBool::False) {
+    // Unit under the trail: propagate in place at the current level.
+    uncheckedEnqueue(Ref[0], C);
+    if (propagate() != nullptr) {
+      // The forced literal conflicts with the trail. There is no search
+      // frame to learn in, so fall back to the root; the next solve
+      // rebuilds the useful prefix from the replay queue.
+      saveReplay();
+      cancelUntil(0);
+      if (propagate() != nullptr)
+        Ok = false;
+    }
+  }
+  return Ok;
+}
+
+void Solver::saveReplay() {
+  if (!WarmStart)
+    return;
+  ReplayQueue.clear();
+  ReplayHead = 0;
+  for (size_t Lvl = 0; Lvl < TrailLim.size(); ++Lvl) {
+    size_t Begin = static_cast<size_t>(TrailLim[Lvl]);
+    size_t End = Lvl + 1 < TrailLim.size()
+                     ? static_cast<size_t>(TrailLim[Lvl + 1])
+                     : Trail.size();
+    if (Begin >= End)
+      continue; // dummy level opened for an already-satisfied assumption
+    Lit D = Trail[Begin];
+    if (Reason[D.var()] == nullptr)
+      ReplayQueue.push_back(D);
+  }
+}
+
+void Solver::setWarmStart(bool Enabled) {
+  if (!Enabled && WarmStart) {
+    // Leave the solver exactly where a from-scratch solve would expect
+    // it: at the root with no pending replay.
+    cancelUntil(0);
+    ReplayQueue.clear();
+    ReplayHead = 0;
+  }
+  WarmStart = Enabled;
 }
 
 void Solver::uncheckedEnqueue(Lit L, Clause *From) {
@@ -434,6 +542,268 @@ void Solver::removeSatisfiedLearnts() {
 }
 
 //===----------------------------------------------------------------------===//
+// Inprocessing (warm start): root-level simplification between solves.
+//===----------------------------------------------------------------------===//
+
+bool Solver::reinstallRoot(Clause *C, bool IsProblem) {
+  // Re-admit a currently-detached clause under the live root assignment:
+  // delete it when satisfied, strip false literals, promote a survivor
+  // of one literal to a root fact. \returns true iff the clause was
+  // re-attached (the caller keeps it in its database).
+  assert(decisionLevel() == 0 && "root-level reinstall only");
+  auto Drop = [&]() {
+    if (IsProblem)
+      --NumProblemClauses;
+    else
+      ++Stats.DeletedClauses;
+    delete C;
+    return false;
+  };
+  for (Lit L : C->Lits)
+    if (value(L) == LBool::True) {
+      ++IStats.RemovedSatisfied;
+      return Drop();
+    }
+  C->Lits.erase(std::remove_if(C->Lits.begin(), C->Lits.end(),
+                               [this](Lit L) {
+                                 return value(L) == LBool::False;
+                               }),
+                C->Lits.end());
+  if (C->Lits.empty()) {
+    Ok = false;
+    return Drop();
+  }
+  if (C->Lits.size() == 1) {
+    Lit Unit = (*C)[0];
+    uncheckedEnqueue(Unit, nullptr);
+    if (propagate() != nullptr)
+      Ok = false;
+    return Drop();
+  }
+  attachClause(C);
+  return true;
+}
+
+void Solver::sweepSatisfied() {
+  // The warm-start replacement for the per-solve removeSatisfiedLearnts:
+  // also sweeps satisfied *problem* clauses, which appear when a closed
+  // constraint scope's activation literal is forced false (melted).
+  auto SweepAll = [this](std::vector<Clause *> &Db, bool IsProblem) {
+    size_t Write = 0;
+    for (size_t I = 0; I < Db.size(); ++I) {
+      Clause *C = Db[I];
+      if (!Ok) { // root conflict: stop simplifying, keep the rest as-is
+        Db[Write++] = C;
+        continue;
+      }
+      bool Touched = false;
+      for (Lit L : C->Lits)
+        if (value(L) != LBool::Undef) {
+          Touched = true;
+          break;
+        }
+      if (!Touched) {
+        Db[Write++] = C;
+        continue;
+      }
+      detachClause(C);
+      if (reinstallRoot(C, IsProblem))
+        Db[Write++] = C;
+    }
+    Db.resize(Write);
+  };
+  SweepAll(Learnts, /*IsProblem=*/false);
+  SweepAll(Problem, /*IsProblem=*/true);
+}
+
+void Solver::strengthenSelfSubsume() {
+  // Binary self-subsumption: a binary (¬l ∨ m) with m ∈ C resolves l out
+  // of C; a binary (l ∨ m) with l, m ∈ C subsumes C outright. Marks use
+  // the Seen scratch per variable: 1 = positive literal in C, 2 =
+  // negative.
+  std::vector<std::vector<Lit>> Bin(Watches.size());
+  auto Collect = [&](const std::vector<Clause *> &Db) {
+    for (Clause *C : Db)
+      if (C->size() == 2) {
+        Bin[(*C)[0].index()].push_back((*C)[1]);
+        Bin[(*C)[1].index()].push_back((*C)[0]);
+      }
+  };
+  Collect(Problem);
+  Collect(Learnts);
+
+  auto Marked = [this](Lit L) {
+    return Seen[L.var()] == (L.sign() ? 2 : 1);
+  };
+  // Partner scans are budgeted: hub literals (hole bits) can have long
+  // binary lists, and this pass must stay cheap relative to the solves
+  // it amortizes over.
+  uint64_t ScanBudget = 2u << 20;
+
+  auto Process = [&](std::vector<Clause *> &Db, bool IsProblem) {
+    size_t Write = 0;
+    for (size_t I = 0; I < Db.size(); ++I) {
+      Clause *C = Db[I];
+      if (!Ok || ScanBudget == 0 || C->size() == 2) {
+        Db[Write++] = C;
+        continue;
+      }
+      for (Lit L : C->Lits)
+        Seen[L.var()] = L.sign() ? 2 : 1;
+
+      bool Subsumed = false;
+      std::vector<Lit> Removable;
+      for (Lit L : C->Lits) {
+        for (Lit M : Bin[L.index()]) {
+          if (ScanBudget > 0)
+            --ScanBudget;
+          if (Marked(M) && M != L) {
+            Subsumed = true; // binary (L ∨ M) ⊆ C
+            break;
+          }
+        }
+        if (Subsumed)
+          break;
+        for (Lit M : Bin[(~L).index()]) {
+          if (ScanBudget > 0)
+            --ScanBudget;
+          if (Marked(M) && M.var() != L.var()) {
+            Removable.push_back(L); // resolve C with (¬L ∨ M) on L
+            break;
+          }
+        }
+      }
+      for (Lit L : C->Lits)
+        Seen[L.var()] = 0;
+
+      if (Subsumed) {
+        ++IStats.SubsumedClauses;
+        detachClause(C);
+        if (IsProblem)
+          --NumProblemClauses;
+        else
+          ++Stats.DeletedClauses;
+        delete C;
+        continue;
+      }
+      if (Removable.empty() ||
+          C->size() - Removable.size() < 2) { // keep at least a binary
+        Db[Write++] = C;
+        continue;
+      }
+      IStats.StrengthenedLits += Removable.size();
+      detachClause(C);
+      for (Lit L : Removable)
+        C->Lits.erase(std::find(C->Lits.begin(), C->Lits.end(), L));
+      if (reinstallRoot(C, IsProblem))
+        Db[Write++] = C;
+    }
+    Db.resize(Write);
+  };
+  Process(Learnts, /*IsProblem=*/false);
+  Process(Problem, /*IsProblem=*/true);
+}
+
+bool Solver::vivifyOne(Clause *C) {
+  // Distillation: assume the negation of the clause literal by literal.
+  // A conflict proves the assumed prefix is itself a clause; a literal
+  // found true completes a shorter clause; a literal found false is
+  // redundant. The clause is detached throughout so it cannot satisfy
+  // itself via its own watches.
+  assert(decisionLevel() == 0 && "root-level vivification only");
+  detachClause(C);
+  std::vector<Lit> Prefix;
+  Prefix.reserve(C->size());
+  for (size_t I = 0; I < C->Lits.size(); ++I) {
+    Lit L = C->Lits[I];
+    if (value(L) == LBool::True) {
+      Prefix.push_back(L); // ¬prefix forces L: C shrinks to prefix + L
+      break;
+    }
+    if (value(L) == LBool::False)
+      continue; // ¬prefix refutes L: redundant
+    if (I + 1 == C->Lits.size()) {
+      Prefix.push_back(L); // last literal: nothing left to learn
+      break;
+    }
+    TrailLim.push_back(static_cast<int>(Trail.size()));
+    uncheckedEnqueue(~L, nullptr);
+    Prefix.push_back(L);
+    if (propagate() != nullptr)
+      break; // ¬prefix is contradictory: prefix is a clause
+  }
+  cancelUntil(0);
+
+  if (Prefix.size() >= C->Lits.size()) {
+    attachClause(C);
+    return true;
+  }
+  IStats.VivifiedLits += C->Lits.size() - Prefix.size();
+  C->Lits = std::move(Prefix);
+  C->LBD = std::min(C->LBD, static_cast<uint32_t>(C->Lits.size()));
+  return reinstallRoot(C, /*IsProblem=*/false);
+}
+
+void Solver::vivify() {
+  // Budgeted: vivification pays a propagation cone per literal, so cap
+  // the pass by propagations and focus on the clauses reduceDB would
+  // keep anyway (small, low-LBD).
+  const uint64_t PropagationBudget = 200000;
+  uint64_t Start = Stats.Propagations;
+  size_t Write = 0;
+  for (size_t I = 0; I < Learnts.size(); ++I) {
+    Clause *C = Learnts[I];
+    bool Keep = true;
+    if (Ok && Stats.Propagations - Start < PropagationBudget &&
+        C->size() >= 3 && C->size() <= 16 && C->LBD <= 6)
+      Keep = vivifyOne(C);
+    if (Keep)
+      Learnts[Write++] = C;
+  }
+  Learnts.resize(Write);
+}
+
+void Solver::inprocess() {
+  assert(decisionLevel() == 0 && "inprocessing is a root-level pass");
+  if (!Ok)
+    return;
+  ++IStats.Passes;
+  // Root assignments never need their reasons again; clearing them frees
+  // every clause for deletion or rewriting.
+  for (Lit L : Trail)
+    Reason[L.var()] = nullptr;
+  sweepSatisfied();
+  if (Ok)
+    strengthenSelfSubsume();
+  if (Ok)
+    vivify();
+  // Learnt-DB policy tuned for incremental use: decay the budget so the
+  // database tracks the live instance instead of ratcheting up forever.
+  // (reduceDB keeps glue clauses — LBD <= 2 or binary — unconditionally.)
+  MaxLearnts = std::max(static_cast<double>(NumProblemClauses) / 3.0 + 2000,
+                        MaxLearnts * 0.95);
+}
+
+void Solver::exportClauses(std::vector<std::vector<Lit>> &Out) const {
+  // A root-inconsistent instance may have dropped the offending clause
+  // (a clause normalized to nothing is never stored): export the empty
+  // clause so the snapshot is unsatisfiable like the live solver.
+  if (!Ok) {
+    Out.push_back({});
+    return;
+  }
+  // Root facts first — addClause never stores unit clauses, it enqueues
+  // them — then the problem clauses as currently stored (normalized
+  // against those same root facts). Learnts are implied and omitted.
+  size_t RootEnd =
+      TrailLim.empty() ? Trail.size() : static_cast<size_t>(TrailLim[0]);
+  for (size_t I = 0; I < RootEnd; ++I)
+    Out.push_back({Trail[I]});
+  for (const Clause *C : Problem)
+    Out.push_back(C->Lits);
+}
+
+//===----------------------------------------------------------------------===//
 // Search.
 //===----------------------------------------------------------------------===//
 
@@ -471,6 +841,9 @@ bool Solver::search(uint64_t ConflictsBeforeRestart, bool &DoneOut) {
       uint32_t LBD = 0;
       analyze(Conflict, Learnt, BacktrackLevel, LBD);
       cancelUntil(BacktrackLevel);
+      // A conflict means the saved trail has diverged for real; stop
+      // replaying it and let phase saving carry the rest.
+      abandonReplay();
 
       if (Learnt.size() == 1) {
         uncheckedEnqueue(Learnt[0], nullptr);
@@ -501,6 +874,7 @@ bool Solver::search(uint64_t ConflictsBeforeRestart, bool &DoneOut) {
     if (LocalConflicts >= ConflictsBeforeRestart) {
       ++Stats.Restarts;
       cancelUntil(0);
+      abandonReplay();
       DoneOut = false;
       return false;
     }
@@ -526,6 +900,28 @@ bool Solver::search(uint64_t ConflictsBeforeRestart, bool &DoneOut) {
     }
 
     if (Next == litUndef()) {
+      // Warm-start trail replay: re-apply the decisions undone by a
+      // forced backtrack, skipping any that propagation re-derived. The
+      // first literal the trail now contradicts abandons the queue — from
+      // there the searches have genuinely diverged.
+      while (ReplayHead < ReplayQueue.size()) {
+        Lit Saved = ReplayQueue[ReplayHead];
+        if (value(Saved) == LBool::True) {
+          ++ReplayHead;
+          continue;
+        }
+        if (value(Saved) == LBool::False) {
+          abandonReplay();
+          break;
+        }
+        ++ReplayHead;
+        Next = Saved;
+        ++Stats.Decisions;
+        break;
+      }
+    }
+
+    if (Next == litUndef()) {
       Next = pickBranchLit();
       if (Next == litUndef()) {
         Model = Assigns; // full model found
@@ -546,12 +942,36 @@ bool Solver::solve(const std::vector<Lit> &Assumptions) {
   if (!Ok)
     return false;
 
-  cancelUntil(0);
-  if (propagate() != nullptr) {
-    Ok = false;
-    return false;
+  if (!WarmStart) {
+    cancelUntil(0);
+    if (propagate() != nullptr) {
+      Ok = false;
+      return false;
+    }
+    removeSatisfiedLearnts();
+  } else {
+    // Warm start: resume with the trail left by the previous solve and
+    // the clause additions since. Assumption solves need the assumptions
+    // installed at decision levels 1..k, so they restart from the root
+    // (saving the trail for replay); plain solves continue in place.
+    if (!Assumptions.empty() && decisionLevel() > 0) {
+      saveReplay();
+      cancelUntil(0);
+    }
+    if (decisionLevel() == 0) {
+      if (propagate() != nullptr) {
+        Ok = false;
+        return false;
+      }
+      if (InprocessCadence != 0 &&
+          ++SolvesSinceInprocess >= InprocessCadence) {
+        SolvesSinceInprocess = 0;
+        inprocess();
+        if (!Ok)
+          return false;
+      }
+    }
   }
-  removeSatisfiedLearnts();
 
   CurrentAssumptions = Assumptions;
   SolveStartConflicts = Stats.Conflicts;
@@ -560,14 +980,24 @@ bool Solver::solve(const std::vector<Lit> &Assumptions) {
 
   bool Result = false;
   bool Done = false;
-  for (uint64_t Round = 0; !Done; ++Round) {
+  uint64_t Round = WarmStart ? RestartRound : 0;
+  for (; !Done; ++Round) {
     uint64_t Budget = 100 * lubySequence(Round);
     Result = search(Budget, Done);
     if (BudgetExhausted)
       break;
   }
-  cancelUntil(0);
+  if (WarmStart)
+    RestartRound = Round;
+
+  // A satisfiable plain warm-start solve keeps its trail (the model) so
+  // the next iteration resumes from the shared prefix; every other exit
+  // returns to the root.
+  if (!WarmStart || !Result || !Assumptions.empty() || BudgetExhausted)
+    cancelUntil(0);
   CurrentAssumptions.clear();
+  ReplayQueue.clear();
+  ReplayHead = 0;
   return Result;
 }
 

@@ -37,6 +37,15 @@ struct SolverStats {
   uint64_t DeletedClauses = 0;
 };
 
+/// Work done by the between-solve inprocessing passes (warm start only).
+struct InprocessStats {
+  uint64_t Passes = 0;
+  uint64_t RemovedSatisfied = 0; ///< root-satisfied clauses swept
+  uint64_t StrengthenedLits = 0; ///< removed by binary self-subsumption
+  uint64_t SubsumedClauses = 0;  ///< deleted: a binary subsumes them
+  uint64_t VivifiedLits = 0;     ///< removed by clause vivification
+};
+
 /// A CDCL SAT solver with incremental clause addition and assumption-based
 /// solving.
 ///
@@ -110,6 +119,40 @@ public:
   /// rather than on a real SAT/UNSAT answer.
   bool budgetExhausted() const { return BudgetExhausted; }
 
+  /// Enables warm-started incremental solving: consecutive solve() calls
+  /// continue one search instead of restarting it. Clauses added between
+  /// solves backtrack only as far as they force (saving the undone
+  /// decisions for replay), the assignment trail survives a satisfiable
+  /// plain solve, the Luby restart index persists across solves, and a
+  /// periodic root-level inprocessing pass replaces the per-solve learnt
+  /// sweep. Off (the default) reproduces the from-scratch trajectory
+  /// bit-identically.
+  void setWarmStart(bool Enabled);
+  bool warmStart() const { return WarmStart; }
+
+  /// Sets how many warm-started solves run between inprocessing passes
+  /// (0 disables inprocessing entirely). Only consulted under warm start.
+  void setInprocessCadence(unsigned SolvesBetweenPasses) {
+    InprocessCadence = SolvesBetweenPasses;
+  }
+
+  /// Runs one root-level inprocessing pass now: sweep root-satisfied
+  /// clauses, strengthen by binary self-subsumption, vivify learnt
+  /// clauses, and decay the learnt-DB budget. Requires decision level 0
+  /// (always true with warm start off; under warm start the solver calls
+  /// this on its own cadence at root visits).
+  void inprocess();
+
+  /// \returns cumulative inprocessing statistics.
+  const InprocessStats &inprocessStats() const { return IStats; }
+
+  /// Appends the live instance to \p Out: the root-level facts as unit
+  /// clauses (addClause never stores units, it enqueues them) followed by
+  /// every problem clause as currently stored. Learnt clauses are implied
+  /// and omitted. The result is equisatisfiable with everything added so
+  /// far and has the same models over the allocated variables.
+  void exportClauses(std::vector<std::vector<Lit>> &Out) const;
+
 private:
   // Watcher: clause plus a cached "blocker" literal that often avoids
   // touching the clause at all.
@@ -157,13 +200,35 @@ private:
   bool BudgetExhausted = false;
   double MaxLearnts = 0.0;
 
+  // Warm-start state (docs/SOLVER.md). ReplayQueue holds the decision
+  // literals undone by a forced backtrack, replayed in order by the next
+  // search to fast-forward to the shared prefix; RestartRound is the
+  // persistent Luby index.
+  bool WarmStart = false;
+  uint64_t RestartRound = 0;
+  std::vector<Lit> ReplayQueue;
+  size_t ReplayHead = 0;
+  unsigned InprocessCadence = 4;
+  unsigned SolvesSinceInprocess = 0;
+  InprocessStats IStats;
+
   // Internals.
   LBool value(Var V) const { return Assigns[V]; }
   LBool value(Lit L) const { return xorLBool(Assigns[L.var()], L.sign()); }
   int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
 
+  LBool rootValue(Lit L) const {
+    if (Assigns[L.var()] == LBool::Undef || Level[L.var()] != 0)
+      return LBool::Undef;
+    return value(L);
+  }
+
   void attachClause(Clause *C);
   void detachClause(Clause *C);
+  bool addUnitClause(Lit L);
+  bool attachWarm(std::vector<Lit> Kept);
+  void saveReplay();
+  void abandonReplay() { ReplayHead = ReplayQueue.size(); }
   void uncheckedEnqueue(Lit L, Clause *From);
   Clause *propagate();
   void analyze(Clause *Conflict, std::vector<Lit> &Learnt, int &BacktrackLevel,
@@ -174,6 +239,13 @@ private:
   bool search(uint64_t ConflictsBeforeRestart, bool &DoneOut);
   void reduceDB();
   void removeSatisfiedLearnts();
+
+  // Inprocessing helpers (all root-level).
+  bool reinstallRoot(Clause *C, bool IsProblem);
+  void sweepSatisfied();
+  void strengthenSelfSubsume();
+  void vivify();
+  bool vivifyOne(Clause *C);
 
   // Activity bookkeeping.
   void varBumpActivity(Var V);

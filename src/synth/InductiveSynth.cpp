@@ -6,16 +6,35 @@
 
 #include "synth/InductiveSynth.h"
 
+#include "sat/Dimacs.h"
+#include "support/StrUtil.h"
 #include "support/Timer.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 using namespace psketch;
 using namespace psketch::synth;
 using circuit::BitVec;
 using circuit::NodeRef;
 
-InductiveSynth::InductiveSynth(const flat::FlatProgram &FP)
-    : FP(FP), Cnf(Graph, Solver), Encoder(Graph, FP) {
+bool psketch::synth::defaultWarmStart() {
+  static const bool Default = [] {
+    const char *Env = std::getenv("PSKETCH_WARM_START");
+    if (Env != nullptr &&
+        (std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0))
+      return false;
+    return true;
+  }();
+  return Default;
+}
+
+InductiveSynth::InductiveSynth(const flat::FlatProgram &FP, SynthOptions Opts)
+    : FP(FP), Cnf(Graph, Solver), Encoder(Graph, FP), Opts(Opts) {
   WallTimer Watch;
+  Solver.setWarmStart(Opts.WarmStart);
+  Solver.setInprocessCadence(Opts.InprocessCadence);
   Cnf.assertTrue(Encoder.validity());
   Stats.ModelSeconds += Watch.seconds();
 }
@@ -44,11 +63,41 @@ void InductiveSynth::addInputObservation(const GlobalOverrides &Overrides) {
   Stats.ClauseCount = Solver.numClauses();
 }
 
-bool InductiveSynth::solve(ir::HoleAssignment &CandidateOut) {
+std::vector<sat::Lit> InductiveSynth::scopeAssumptions() const {
+  std::vector<sat::Lit> Assumptions;
+  for (size_t I = 0; I < ScopeLits.size(); ++I)
+    if (ScopeOpen[I])
+      Assumptions.push_back(ScopeLits[I]);
+  return Assumptions;
+}
+
+bool InductiveSynth::measuredSolve(const std::vector<sat::Lit> &Assumptions,
+                                   bool Probe) {
   WallTimer Watch;
-  bool Sat = Solver.solve();
-  Stats.SolveSeconds += Watch.seconds();
-  if (!Sat)
+  const sat::SolverStats Before = Solver.stats();
+  bool Sat =
+      Assumptions.empty() ? Solver.solve() : Solver.solve(Assumptions);
+  const sat::SolverStats &After = Solver.stats();
+  double Seconds = Watch.seconds();
+  Stats.SolveSeconds += Seconds;
+  if (Probe) {
+    ++Stats.Probes;
+    return Sat;
+  }
+  SolveRecord Rec;
+  Rec.Seconds = Seconds;
+  Rec.Conflicts = After.Conflicts - Before.Conflicts;
+  Rec.Decisions = After.Decisions - Before.Decisions;
+  Rec.Restarts = After.Restarts - Before.Restarts;
+  Rec.Propagations = After.Propagations - Before.Propagations;
+  Rec.LearntClauses = Solver.numLearnts();
+  Rec.Sat = Sat;
+  Stats.Solves.push_back(Rec);
+  return Sat;
+}
+
+bool InductiveSynth::solve(ir::HoleAssignment &CandidateOut) {
+  if (!measuredSolve(scopeAssumptions(), /*Probe=*/false))
     return false;
 
   const std::vector<BitVec> &Holes = Encoder.holeBits();
@@ -65,24 +114,101 @@ bool InductiveSynth::solve(ir::HoleAssignment &CandidateOut) {
   return true;
 }
 
-void InductiveSynth::banHoleValue(unsigned HoleId, uint64_t Value) {
+unsigned InductiveSynth::openScope() {
   WallTimer Watch;
-  Cnf.assertFalse(bvEqConst(Graph, Encoder.holeBits()[HoleId], Value));
+  sat::Var Activation = Solver.newVar();
+  ScopeLits.push_back(sat::Lit(Activation, false));
+  ScopeOpen.push_back(1);
+  Stats.ModelSeconds += Watch.seconds();
+  return static_cast<unsigned>(ScopeLits.size() - 1);
+}
+
+void InductiveSynth::closeScope(unsigned ScopeId) {
+  WallTimer Watch;
+  assert(ScopeId < ScopeLits.size() && ScopeOpen[ScopeId] &&
+         "closing an unknown or already-closed scope");
+  ScopeOpen[ScopeId] = 0;
+  // Melt: with the activation literal a root-level fact (false), every
+  // guarded clause is root-satisfied; inprocessing sweeps them.
+  Solver.addClause(~ScopeLits[ScopeId]);
   Stats.ModelSeconds += Watch.seconds();
 }
 
-void InductiveSynth::assertHoleConstraint(ir::ExprRef Constraint) {
+void InductiveSynth::assertScoped(NodeRef N, int Scope) {
+  if (Scope < 0) {
+    Cnf.assertTrue(N);
+    return;
+  }
+  assert(static_cast<size_t>(Scope) < ScopeLits.size() && ScopeOpen[Scope] &&
+         "asserting into an unknown or closed scope");
+  // (~activation | N): inert unless the scope's literal is assumed.
+  Solver.addClause(~ScopeLits[Scope], Cnf.litFor(N));
+}
+
+void InductiveSynth::banHoleValue(unsigned HoleId, uint64_t Value, int Scope) {
   WallTimer Watch;
-  Cnf.assertTrue(Encoder.encodeHoleOnly(Constraint));
+  NodeRef Eq = bvEqConst(Graph, Encoder.holeBits()[HoleId], Value);
+  assertScoped(~Eq, Scope);
   Stats.ModelSeconds += Watch.seconds();
 }
 
-void InductiveSynth::excludeCandidate(const ir::HoleAssignment &Candidate) {
+void InductiveSynth::assertHoleConstraint(ir::ExprRef Constraint, int Scope) {
+  WallTimer Watch;
+  assertScoped(Encoder.encodeHoleOnly(Constraint), Scope);
+  Stats.ModelSeconds += Watch.seconds();
+}
+
+void InductiveSynth::excludeCandidate(const ir::HoleAssignment &Candidate,
+                                      int Scope) {
   WallTimer Watch;
   const std::vector<BitVec> &Holes = Encoder.holeBits();
   std::vector<NodeRef> Equalities;
   for (size_t I = 0; I < Holes.size() && I < Candidate.size(); ++I)
     Equalities.push_back(bvEqConst(Graph, Holes[I], Candidate[I]));
-  Cnf.assertFalse(Graph.mkAndAll(Equalities));
+  assertScoped(~Graph.mkAndAll(Equalities), Scope);
   Stats.ModelSeconds += Watch.seconds();
+}
+
+bool InductiveSynth::probeHoleValue(unsigned HoleId, uint64_t Value) {
+  std::vector<sat::Lit> Assumptions = scopeAssumptions();
+  const BitVec &Bits = Encoder.holeBits()[HoleId];
+  for (unsigned B = 0; B < Bits.width(); ++B) {
+    sat::Lit L = Cnf.litFor(Bits.bit(B));
+    Assumptions.push_back(((Value >> B) & 1) != 0 ? L : ~L);
+  }
+  return measuredSolve(Assumptions, /*Probe=*/true);
+}
+
+bool InductiveSynth::probeCandidate(const ir::HoleAssignment &Candidate) {
+  std::vector<sat::Lit> Assumptions = scopeAssumptions();
+  const std::vector<BitVec> &Holes = Encoder.holeBits();
+  for (size_t I = 0; I < Holes.size() && I < Candidate.size(); ++I)
+    for (unsigned B = 0; B < Holes[I].width(); ++B) {
+      sat::Lit L = Cnf.litFor(Holes[I].bit(B));
+      Assumptions.push_back(((Candidate[I] >> B) & 1) != 0 ? L : ~L);
+    }
+  return measuredSolve(Assumptions, /*Probe=*/true);
+}
+
+std::string InductiveSynth::dumpDimacs() {
+  // Comment map first: litFor() may allocate a variable for a hole bit
+  // the encoding never touched, so resolve every bit before snapshotting
+  // the instance.
+  const std::vector<BitVec> &Holes = Encoder.holeBits();
+  const std::vector<ir::Hole> &Decls = FP.Source->holes();
+  std::vector<std::string> Comments;
+  Comments.push_back("psketch incremental synthesis instance");
+  for (size_t I = 0; I < Holes.size(); ++I) {
+    std::string Vars;
+    for (unsigned B = 0; B < Holes[I].width(); ++B) {
+      sat::Lit L = Cnf.litFor(Holes[I].bit(B));
+      Vars += format("%s%d", B == 0 ? "" : " ",
+                     (L.var() + 1) * (L.sign() ? -1 : 1));
+    }
+    const char *Name = I < Decls.size() ? Decls[I].Name.c_str() : "?";
+    unsigned Choices = I < Decls.size() ? Decls[I].NumChoices : 0;
+    Comments.push_back(format("hole %zu '%s' choices %u bits(lsb-first): %s",
+                              I, Name, Choices, Vars.c_str()));
+  }
+  return sat::writeDimacs(sat::exportCnf(Solver), Comments);
 }

@@ -1,0 +1,327 @@
+//===- tests/test_sat_incremental.cpp - warm-started solver tests ----------===//
+//
+// Part of psketch-cpp, a reproduction of "Sketching Concurrent Data
+// Structures" (PLDI 2008).
+//
+// The warm-start soundness gates (docs/SOLVER.md): a warm-started solver
+// fed clauses between solves must agree verdict-for-verdict with a
+// from-scratch solver on the same clause set, its models must satisfy
+// every clause, activation-literal scopes must retract cleanly, and the
+// scoped enumeration path must produce exactly the permanent-clause
+// solution set.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegis/Enumerate.h"
+#include "sat/Dimacs.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+#include "synth/InductiveSynth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace psketch;
+using namespace psketch::sat;
+
+namespace {
+
+/// Checks a model against every clause of \p Clauses.
+bool modelSatisfies(const Solver &S, const std::vector<std::vector<Lit>> &Clauses) {
+  for (const std::vector<Lit> &Clause : Clauses) {
+    bool Sat = false;
+    for (Lit L : Clause)
+      if (S.modelValue(L) == LBool::True) {
+        Sat = true;
+        break;
+      }
+    if (!Sat)
+      return false;
+  }
+  return true;
+}
+
+/// One random clause over \p NumVars variables.
+std::vector<Lit> randomClause(Rng &R, int NumVars) {
+  std::vector<Lit> Clause;
+  int Len = 1 + static_cast<int>(R.below(4));
+  for (int I = 0; I < Len; ++I)
+    Clause.push_back(
+        Lit(static_cast<Var>(R.below(NumVars)), R.below(2) != 0));
+  return Clause;
+}
+
+/// Solves \p Clauses from scratch on a fresh legacy (cold) solver.
+bool scratchSolve(int NumVars, const std::vector<std::vector<Lit>> &Clauses) {
+  Solver S;
+  for (int V = 0; V < NumVars; ++V)
+    S.newVar();
+  for (const std::vector<Lit> &Clause : Clauses)
+    if (!S.addClause(Clause))
+      return false;
+  return S.solve();
+}
+
+} // namespace
+
+// The tentpole property: interleaved addClause/solve sequences on one
+// warm solver agree with from-scratch solving at every solve point, and
+// every SAT model satisfies the full clause set. Cadence 1 forces an
+// inprocessing pass (sweep + self-subsumption + vivification) before
+// every warm solve, so the equivalence of the strengthened database is
+// exercised on every trial, not every fourth.
+TEST(WarmStart, AgreesWithScratchAcrossInterleavedRounds) {
+  for (unsigned Cadence : {1u, 4u}) {
+    Rng R(0xC0FFEE + Cadence);
+    for (int Trial = 0; Trial < 40; ++Trial) {
+      const int NumVars = 6 + static_cast<int>(R.below(10));
+      Solver Warm;
+      Warm.setWarmStart(true);
+      Warm.setInprocessCadence(Cadence);
+      for (int V = 0; V < NumVars; ++V)
+        Warm.newVar();
+
+      std::vector<std::vector<Lit>> Clauses;
+      bool WarmOk = true;
+      const int Rounds = 6 + static_cast<int>(R.below(6));
+      for (int Round = 0; Round < Rounds; ++Round) {
+        const int Batch = 1 + static_cast<int>(R.below(6));
+        for (int C = 0; C < Batch && WarmOk; ++C) {
+          Clauses.push_back(randomClause(R, NumVars));
+          WarmOk = Warm.addClause(Clauses.back());
+        }
+        bool WarmSat = WarmOk && Warm.solve();
+        bool ScratchSat = scratchSolve(NumVars, Clauses);
+        ASSERT_EQ(WarmSat, ScratchSat)
+            << "trial " << Trial << " round " << Round << " cadence "
+            << Cadence << ": warm and from-scratch verdicts diverge";
+        if (WarmSat) {
+          ASSERT_TRUE(modelSatisfies(Warm, Clauses))
+              << "trial " << Trial << " round " << Round
+              << ": warm model violates a clause";
+        } else {
+          break; // adding clauses to an unsat instance stays unsat
+        }
+      }
+    }
+  }
+}
+
+// Assumption solves interleaved with clause growth: the warm solver's
+// answer under assumptions must match a scratch solver given the same
+// assumptions as unit clauses, and the assumptions must not leak into
+// the instance.
+TEST(WarmStart, AssumptionSolvesAgreeAndDoNotPollute) {
+  Rng R(0xBEEF);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    const int NumVars = 6 + static_cast<int>(R.below(8));
+    Solver Warm;
+    Warm.setWarmStart(true);
+    for (int V = 0; V < NumVars; ++V)
+      Warm.newVar();
+
+    std::vector<std::vector<Lit>> Clauses;
+    bool WarmOk = true;
+    for (int Round = 0; Round < 8 && WarmOk; ++Round) {
+      Clauses.push_back(randomClause(R, NumVars));
+      WarmOk = Warm.addClause(Clauses.back());
+      if (!WarmOk)
+        break;
+
+      std::vector<Lit> Assumptions;
+      const int NumAssumps = 1 + static_cast<int>(R.below(3));
+      for (int A = 0; A < NumAssumps; ++A)
+        Assumptions.push_back(
+            Lit(static_cast<Var>(R.below(NumVars)), R.below(2) != 0));
+
+      std::vector<std::vector<Lit>> WithUnits = Clauses;
+      for (Lit L : Assumptions)
+        WithUnits.push_back({L});
+      bool WarmSat = Warm.solve(Assumptions);
+      ASSERT_EQ(WarmSat, scratchSolve(NumVars, WithUnits))
+          << "trial " << Trial << " round " << Round;
+
+      // The plain instance must be unperturbed by the probe.
+      ASSERT_EQ(Warm.solve(), scratchSolve(NumVars, Clauses))
+          << "trial " << Trial << " round " << Round
+          << ": assumptions leaked into the instance";
+    }
+  }
+}
+
+// Scoped constraints: a banHoleValue inside a scope binds every solve
+// while the scope is open and is fully retracted by closeScope.
+TEST(WarmStart, ScopedBanRetractsOnClose) {
+  ir::Program P;
+  unsigned X = P.addGlobal("x", ir::Type::Int, 0);
+  unsigned H = P.addHole("h", 4);
+  unsigned T = P.addThread("t");
+  P.setRoot(ir::BodyId::thread(T),
+            P.assign(P.locGlobal(X), P.holeValue(H)));
+  flat::FlatProgram FP = flat::flatten(P);
+
+  synth::SynthOptions Opts;
+  Opts.WarmStart = true;
+  synth::InductiveSynth S(FP, Opts);
+
+  unsigned Scope = S.openScope();
+  for (uint64_t V = 0; V < 3; ++V)
+    S.banHoleValue(H, V, static_cast<int>(Scope));
+  ir::HoleAssignment Cand;
+  ASSERT_TRUE(S.solve(Cand));
+  EXPECT_EQ(Cand[H], 3u) << "the only unbanned value";
+  EXPECT_FALSE(S.probeHoleValue(H, 0));
+  EXPECT_TRUE(S.probeHoleValue(H, 3));
+
+  S.closeScope(Scope);
+  // Retracted: all four values are reachable again.
+  std::set<uint64_t> Seen;
+  unsigned Outer = S.openScope();
+  while (S.solve(Cand)) {
+    Seen.insert(Cand[H]);
+    S.excludeCandidate(Cand, static_cast<int>(Outer));
+  }
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+// Scoped vs permanent exclusion must enumerate the same solution set on
+// one instance (scoped exclusions are what the autotune path uses).
+TEST(WarmStart, ScopedEnumerationMatchesPermanent) {
+  auto Build = [](ir::Program &P, unsigned &HoleOut) {
+    unsigned X = P.addGlobal("x", ir::Type::Int, 0);
+    HoleOut = P.addHole("h", 8);
+    unsigned T = P.addThread("t");
+    P.setRoot(ir::BodyId::thread(T),
+              P.assign(P.locGlobal(X), P.holeValue(HoleOut)));
+  };
+
+  std::set<uint64_t> Permanent, Scoped;
+  {
+    ir::Program P;
+    unsigned H = 0;
+    Build(P, H);
+    flat::FlatProgram FP = flat::flatten(P);
+    synth::SynthOptions Opts;
+    Opts.WarmStart = false;
+    synth::InductiveSynth S(FP, Opts);
+    ir::HoleAssignment Cand;
+    while (S.solve(Cand)) {
+      Permanent.insert(Cand[H]);
+      S.excludeCandidate(Cand); // permanent clause
+    }
+  }
+  {
+    ir::Program P;
+    unsigned H = 0;
+    Build(P, H);
+    flat::FlatProgram FP = flat::flatten(P);
+    synth::SynthOptions Opts;
+    Opts.WarmStart = true;
+    synth::InductiveSynth S(FP, Opts);
+    unsigned Scope = S.openScope();
+    ir::HoleAssignment Cand;
+    while (S.solve(Cand)) {
+      Scoped.insert(Cand[H]);
+      S.excludeCandidate(Cand, static_cast<int>(Scope));
+    }
+    S.closeScope(Scope);
+    // After retraction the instance is virgin again: solvable, and the
+    // guarded clauses are gone for good.
+    ASSERT_TRUE(S.solve(Cand));
+  }
+  EXPECT_EQ(Permanent, Scoped);
+  EXPECT_EQ(Permanent.size(), 8u);
+}
+
+// The end-to-end autotune path: enumerateSolutions with warm start on
+// (assumption-scoped exclusions) finds exactly the candidate set the
+// permanent-clause path finds.
+TEST(WarmStart, EnumerateSolutionsSetMatchesColdPath) {
+  auto Run = [](bool WarmStart) {
+    ir::Program P;
+    unsigned X = P.addGlobal("x", ir::Type::Int, 0);
+    unsigned H = P.addHole("h", 8);
+    unsigned T = P.addThread("t");
+    P.setRoot(ir::BodyId::thread(T),
+              P.assign(P.locGlobal(X), P.holeValue(H)));
+    P.setRoot(ir::BodyId::epilogue(),
+              P.assertS(P.lt(P.global(X), P.constInt(5)), "x<5"));
+    cegis::CegisConfig Cfg;
+    Cfg.SolverWarmStart = WarmStart;
+    auto R = cegis::enumerateSolutions(P, 16, Cfg);
+    EXPECT_TRUE(R.Exhausted);
+    std::set<uint64_t> Values;
+    for (const cegis::Solution &S : R.Solutions)
+      Values.insert(S.Candidate[H]);
+    return Values;
+  };
+  std::set<uint64_t> Cold = Run(false), Warm = Run(true);
+  EXPECT_EQ(Cold, Warm);
+  EXPECT_EQ(Cold.size(), 5u) << "h in {0..4} are exactly the solutions";
+}
+
+// --dump-cnf round trip: the exported DIMACS reparses, reloads, and has
+// the same satisfiability as the live instance; the hole comment map is
+// present.
+TEST(WarmStart, DumpCnfRoundTrips) {
+  ir::Program P;
+  unsigned X = P.addGlobal("x", ir::Type::Int, 0);
+  unsigned H = P.addHole("h", 4);
+  unsigned T = P.addThread("t");
+  P.setRoot(ir::BodyId::thread(T),
+            P.assign(P.locGlobal(X), P.holeValue(H)));
+  flat::FlatProgram FP = flat::flatten(P);
+
+  synth::SynthOptions Opts;
+  Opts.WarmStart = true;
+  synth::InductiveSynth S(FP, Opts);
+  S.banHoleValue(H, 0);
+  S.banHoleValue(H, 1);
+  ir::HoleAssignment Cand;
+  ASSERT_TRUE(S.solve(Cand));
+
+  std::string Text = S.dumpDimacs();
+  EXPECT_NE(Text.find("c hole 0 'h' choices 4"), std::string::npos) << Text;
+
+  Cnf Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseDimacs(Text, Parsed, Error)) << Error;
+  Solver Fresh;
+  ASSERT_TRUE(loadCnf(Parsed, Fresh));
+  EXPECT_TRUE(Fresh.solve());
+
+  // Banning the two remaining values makes the live instance unsat; a
+  // fresh export must agree.
+  S.banHoleValue(H, 2);
+  S.banHoleValue(H, 3);
+  EXPECT_FALSE(S.solve(Cand));
+  Cnf Parsed2;
+  ASSERT_TRUE(parseDimacs(S.dumpDimacs(), Parsed2, Error)) << Error;
+  Solver Fresh2;
+  bool Loaded = loadCnf(Parsed2, Fresh2);
+  EXPECT_FALSE(Loaded && Fresh2.solve());
+}
+
+// Per-solve telemetry: one SolveRecord per candidate solve, none for
+// probes, and the probe counter tracks what-if queries.
+TEST(WarmStart, TelemetryCountsSolvesAndProbes) {
+  ir::Program P;
+  unsigned X = P.addGlobal("x", ir::Type::Int, 0);
+  unsigned H = P.addHole("h", 4);
+  unsigned T = P.addThread("t");
+  P.setRoot(ir::BodyId::thread(T),
+            P.assign(P.locGlobal(X), P.holeValue(H)));
+  flat::FlatProgram FP = flat::flatten(P);
+
+  synth::InductiveSynth S(FP);
+  ir::HoleAssignment Cand;
+  ASSERT_TRUE(S.solve(Cand));
+  ASSERT_TRUE(S.solve(Cand));
+  EXPECT_TRUE(S.probeHoleValue(H, 2));
+  EXPECT_TRUE(S.probeCandidate(Cand));
+  EXPECT_EQ(S.stats().Solves.size(), 2u);
+  EXPECT_EQ(S.stats().Probes, 2u);
+  EXPECT_TRUE(S.stats().Solves.back().Sat);
+}
