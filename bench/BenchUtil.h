@@ -27,6 +27,7 @@
 #include "benchmarks/Suite.h"
 #include "cegis/Cegis.h"
 #include "support/Hash.h"
+#include "support/MemUsage.h"
 #include "support/StrUtil.h"
 
 #include <cstdio>
@@ -200,7 +201,12 @@ inline void cpuInfo(std::string &Model, std::string &Flags) {
 /// the measurements came from. Benches add it as the first row of their
 /// JSON report so regression tooling can refuse cross-machine or
 /// cross-configuration comparisons (scripts/check_bench_regression.py).
-inline JsonObject provenanceJson(unsigned Workers, unsigned BatchWidth) {
+/// \p VisitedStore names the visited tiering the rows ran under
+/// ("memory" or "spill"; docs/SPILL.md), and peak_rss_mib records the
+/// process's peak resident set at emission time — together they let the
+/// regression tooling tell an in-RAM measurement from an out-of-core one.
+inline JsonObject provenanceJson(unsigned Workers, unsigned BatchWidth,
+                                 const char *VisitedStore = "memory") {
   std::string Model, Flags;
   cpuInfo(Model, Flags);
   JsonObject O;
@@ -209,7 +215,9 @@ inline JsonObject provenanceJson(unsigned Workers, unsigned BatchWidth) {
       .field("cpu_flags", Flags)
       .field("simd", psketch::simdMode())
       .field("batch_width", BatchWidth)
-      .field("workers", Workers);
+      .field("workers", Workers)
+      .field("visited_store", VisitedStore)
+      .field("peak_rss_mib", peakRSSMiB());
   return O;
 }
 

@@ -12,6 +12,12 @@ only binds runs on the machine that produced it. Agreement rows are
 re-checked unconditionally: those are machine-independent and must never
 regress anywhere.
 
+Ceiling metrics go the other way: a baseline row carrying
+max_bytes_per_state caps the matching current row's bytes_per_state
+(visited-store memory footprint per state, RAM + spilled disk bytes;
+docs/SPILL.md). Byte accounting is machine-independent, so ceilings are
+enforced unconditionally — no provenance guard, no tolerance.
+
 Stdlib only (json/sys); no third-party dependencies.
 """
 
@@ -31,6 +37,14 @@ METRICS = {
 
 AGREE_FLAGS = ("agrees", "ok")
 
+# Per-kind lower-is-better caps: (key fields, baseline ceiling field,
+# current measured field). A baseline row without the ceiling field binds
+# nothing.
+CEILINGS = {
+    "spill": (("sketch", "test", "engine"), "max_bytes_per_state",
+              "bytes_per_state"),
+}
+
 
 def provenance(rows):
     for row in rows:
@@ -46,6 +60,22 @@ def index(rows):
         if spec is None:
             continue
         keys, metric = spec
+        ident = (row["kind"],) + tuple(row.get(k) for k in keys)
+        if metric in row:
+            out[ident] = row[metric]
+    return out
+
+
+def index_field(rows, field):
+    """Indexes rows of CEILINGS kinds by their key fields on `field`
+    ("ceiling" for the baseline side, "measured" for the current side)."""
+    out = {}
+    for row in rows:
+        spec = CEILINGS.get(row.get("kind"))
+        if spec is None:
+            continue
+        keys, ceiling, measured = spec
+        metric = ceiling if field == "ceiling" else measured
         ident = (row["kind"],) + tuple(row.get(k) for k in keys)
         if metric in row:
             out[ident] = row[metric]
@@ -71,6 +101,26 @@ def main(argv):
         for flag in AGREE_FLAGS:
             if row.get("kind", "").endswith("agreement") and row.get(flag) is False:
                 failures.append("disagreement row: %s" % json.dumps(row))
+
+    # Byte ceilings: machine-independent, enforced before (and regardless
+    # of) the provenance check.
+    caps = index_field(baseline, "ceiling")
+    measured = index_field(current, "measured")
+    capped = 0
+    for ident, limit in sorted(caps.items()):
+        got = measured.get(ident)
+        if got is None:
+            print("check_bench_regression: %s missing from current report"
+                  % (ident,))
+            continue
+        capped += 1
+        if got > limit:
+            failures.append(
+                "%s: %.1f bytes/state exceeds the %.1f ceiling"
+                % (ident, got, limit)
+            )
+    if caps:
+        print("check_bench_regression: %d ceiling rows checked" % capped)
 
     cur_prov, base_prov = provenance(current), provenance(baseline)
     same_machine = all(

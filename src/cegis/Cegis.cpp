@@ -84,6 +84,11 @@ void accumulateCheckerStats(CegisStats &Stats,
   if (Check.LockIndepPairs > Stats.LockIndepPairs)
     Stats.LockIndepPairs = Check.LockIndepPairs;
   Stats.PackEscapes += Check.PackEscapes;
+  Stats.SpilledStates += Check.SpilledStates;
+  Stats.SpillBytes += Check.SpillBytes;
+  Stats.RunMerges += Check.RunMerges;
+  Stats.FilterFalseHits += Check.FilterFalseHits;
+  Stats.SpillFallback = Stats.SpillFallback || Check.SpillFallback;
   if (Stats.PerWorkerStates.size() < Check.PerWorkerStates.size())
     Stats.PerWorkerStates.resize(Check.PerWorkerStates.size(), 0);
   for (size_t I = 0; I < Check.PerWorkerStates.size(); ++I)

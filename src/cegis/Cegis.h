@@ -151,6 +151,15 @@ struct CegisStats {
   uint64_t PackEscapes = 0;
   double AbsIntSeconds = 0.0;
   uint64_t AbsIntFalsePrunes = 0;
+  /// Spill-tier observability summed across all verifier calls (nonzero
+  /// only under CheckerConfig::Store == VisitedStore::Spill; see
+  /// CheckResult and docs/SPILL.md). SpillFallback latches true if ANY
+  /// call degraded to in-RAM mode on an I/O failure.
+  uint64_t SpilledStates = 0;
+  uint64_t SpillBytes = 0;
+  uint64_t RunMerges = 0;
+  uint64_t FilterFalseHits = 0;
+  bool SpillFallback = false;
   /// Per-iteration solver telemetry: one record per candidate-proposing
   /// SAT solve (synth::SolveRecord — seconds, conflicts, decisions,
   /// restarts, learnt-DB size). psketch_tool --stats prints these and the

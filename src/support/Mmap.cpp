@@ -1,0 +1,61 @@
+//===- support/Mmap.cpp ----------------------------------------------------===//
+//
+// Part of psketch-cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Mmap.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+using namespace psketch;
+
+bool MappedFile::map(const std::string &Path) {
+#if defined(__unix__) || defined(__APPLE__)
+  reset();
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return false;
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    ::close(Fd);
+    return false;
+  }
+  if (St.st_size == 0) {
+    // A zero-length file maps to nothing; that is a successful (empty)
+    // mapping, not an error.
+    ::close(Fd);
+    return true;
+  }
+  void *P = ::mmap(nullptr, static_cast<size_t>(St.st_size), PROT_READ,
+                   MAP_PRIVATE, Fd, 0);
+  ::close(Fd); // the mapping keeps its own reference
+  if (P == MAP_FAILED)
+    return false;
+#ifdef MADV_RANDOM
+  // Binary-search access: readahead would fault in pages the probe never
+  // touches. Advisory only — failure is ignored.
+  (void)::madvise(P, static_cast<size_t>(St.st_size), MADV_RANDOM);
+#endif
+  Data = P;
+  Size = static_cast<size_t>(St.st_size);
+  return true;
+#else
+  (void)Path;
+  return false;
+#endif
+}
+
+void MappedFile::reset() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (Data)
+    ::munmap(Data, Size);
+#endif
+  Data = nullptr;
+  Size = 0;
+}

@@ -162,8 +162,10 @@ void FrontierBatch::fingerprint(const exec::Machine &M,
 
 void FrontierBatch::probeMask(const exec::Machine &M, VisitedTable &Visited) {
   // Identity coordinates: probe the lane states in place (in Exact mode
-  // through the prefetch-pipelined sweep). Sleep masks need no
-  // automorphism translation, and the SoA block was never built.
+  // through the prefetch-pipelined sweep; under VisitedStore::Spill the
+  // table also pre-answers the batch's disk-tier membership in one
+  // sorted run sweep). Sleep masks need no automorphism translation,
+  // and the SoA block was never built.
   if (!UseCanon) {
     WordPtrs.resize(N);
     for (unsigned K = 0; K < N; ++K)

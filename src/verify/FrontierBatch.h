@@ -110,13 +110,19 @@ public:
   /// VisitedTable::insertMask would have returned for lane K entered
   /// with sleep(K). Requires fingerprint() first (lane fingerprints
   /// place Exact-mode entries too). In Exact mode the whole batch of
-  /// probes runs VisitedTable's prefetch-pipelined sweep.
+  /// probes runs VisitedTable's prefetch-pipelined sweep; under
+  /// VisitedStore::Spill the table additionally pre-answers the batch's
+  /// disk-tier membership in one sorted sweep over the on-disk runs
+  /// (VisitedCell::spillHints), so lanes that miss in RAM don't pay a
+  /// cold binary search each (docs/SPILL.md).
   void probeMask(const exec::Machine &M, VisitedTable &Visited);
 
   /// Parallel probe (sleep-free): ins(K) is Fresh or Prune matching
   /// ShardedVisited::insert on lane K; each touched shard is locked once
   /// per batch. Requires fingerprint() first (the fingerprint picks the
-  /// shard, in Exact mode too).
+  /// shard — in Exact mode too, and the spill shard with it: under
+  /// VisitedStore::Spill each shard group's disk hints are batch-probed
+  /// under the same single lock acquisition).
   void probeShared(const exec::Machine &M, ShardedVisited &Visited);
 
   /// Classifies lane \p K's threads into ReadyOut/BlockedOut and caches

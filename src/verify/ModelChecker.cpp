@@ -53,8 +53,16 @@ class Checker {
 public:
   Checker(const Machine &M, const CheckerConfig &Cfg, bool UseFalsifier)
       : M(M), Cfg(Cfg), UseFalsifier(UseFalsifier), Canon(makeCanon(M, Cfg)),
+        Spill(Cfg.Store == VisitedStore::Spill
+                  ? std::make_unique<detail::SpillStore>(Cfg.SpillDir)
+                  : nullptr),
         Visited(Cfg, &hashWords,
-                Canon && Canon->active() ? Canon.get() : nullptr) {}
+                Canon && Canon->active() ? Canon.get() : nullptr,
+                // A failed store (unwritable spill dir) is still handed
+                // over: the cells see !ok() and waive the budget, so the
+                // check degrades to Memory mode with no abort watermark
+                // (CheckResult::SpillFallback) rather than failing.
+                Spill.get()) {}
 
   CheckResult run();
 
@@ -93,6 +101,7 @@ private:
   bool UseFalsifier;
   CheckResult Result;
   std::unique_ptr<Canonicalizer> Canon; ///< before Visited: it aliases this
+  std::unique_ptr<detail::SpillStore> Spill; ///< before Visited: aliased too
   detail::VisitedTable Visited;
 
   /// Exhaustive DFS, legacy copy-per-successor loop (UseUndoLog=false).
@@ -170,7 +179,7 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
       return true;
     }
     ++Result.StatesExplored;
-    if (Result.StatesExplored >= Cfg.MaxStates)
+    if (Result.StatesExplored >= Cfg.MaxStates || Visited.overBudget())
       Result.Exhausted = true;
     Node N;
     N.S = std::move(S);
@@ -231,7 +240,7 @@ bool Checker::bfs(const State &Start, Counterexample &Cex) {
           continue;
         }
         ++Result.StatesExplored;
-        if (Result.StatesExplored >= Cfg.MaxStates)
+        if (Result.StatesExplored >= Cfg.MaxStates || Visited.overBudget())
           Result.Exhausted = true;
         Node Child;
         Child.S = std::move(Batch.state(K));
@@ -488,7 +497,7 @@ bool Checker::dfs(const State &Start, Counterexample &Cex) {
       ++Result.StatesDeduped; // partially-covered revisit
     } else {
       ++Result.StatesExplored;
-      if (Result.StatesExplored >= Cfg.MaxStates)
+      if (Result.StatesExplored >= Cfg.MaxStates || Visited.overBudget())
         Result.Exhausted = true;
     }
 
@@ -612,7 +621,7 @@ bool Checker::dfsUndo(const State &Start, Counterexample &Cex) {
       ++Result.StatesDeduped; // partially-covered revisit
     } else {
       ++Result.StatesExplored;
-      if (Result.StatesExplored >= Cfg.MaxStates)
+      if (Result.StatesExplored >= Cfg.MaxStates || Visited.overBudget())
         Result.Exhausted = true;
     }
 
@@ -782,7 +791,7 @@ bool Checker::dfsBatched(const State &Start, Counterexample &Cex) {
   Root.fingerprint(M, Cn, Visited.hashFn());
   Root.probeMask(M, Visited); // the table is empty: always Fresh
   ++Result.StatesExplored;
-  if (Result.StatesExplored >= Cfg.MaxStates)
+  if (Result.StatesExplored >= Cfg.MaxStates || Visited.overBudget())
     Result.Exhausted = true;
   Path.insert(Path.end(), Root.suffix(0).begin(), Root.suffix(0).end());
   if (!EnterLane(Root, 0, nullptr))
@@ -837,7 +846,7 @@ bool Checker::dfsBatched(const State &Start, Counterexample &Cex) {
       for (unsigned K = 0; K < NGen; ++K) {
         if (Top.Batch.ins(K) == detail::InsertOutcome::Fresh) {
           ++Result.StatesExplored;
-          if (Result.StatesExplored >= Cfg.MaxStates)
+          if (Result.StatesExplored >= Cfg.MaxStates || Visited.overBudget())
             Result.Exhausted = true;
         } else {
           ++Result.StatesDeduped; // Prune, or partially-covered Wake
@@ -912,6 +921,18 @@ CheckResult Checker::runSearch() {
                                              : dfs(S0, Cex);
   Result.FingerprintCollisions = Visited.collisions();
   Result.VisitedBytes = Visited.keyBytes();
+  Result.BudgetAborted = Visited.overBudget();
+  if (Spill) {
+    // The filters are RAM the spill tier owns — count them with the
+    // in-memory tier so VisitedBytes + SpillBytes is the true
+    // end-to-end footprint (docs/SPILL.md).
+    Result.VisitedBytes += Spill->filterBytes();
+    Result.SpilledStates = Spill->spilledStates();
+    Result.SpillBytes = Spill->spillBytes();
+    Result.RunMerges = Spill->runMerges();
+    Result.FilterFalseHits = Spill->filterFalseHits();
+    Result.SpillFallback = !Spill->ok();
+  }
   if (!Clean) {
     Result.Ok = false;
     Result.Cex = std::move(Cex);
@@ -938,6 +959,12 @@ CheckResult Checker::runSearch() {
       Result.StatesDeduped += Seq.StatesDeduped;
       Result.FingerprintCollisions += Seq.FingerprintCollisions;
       Result.VisitedBytes += Seq.VisitedBytes;
+      Result.SpilledStates += Seq.SpilledStates;
+      Result.SpillBytes += Seq.SpillBytes;
+      Result.RunMerges += Seq.RunMerges;
+      Result.FilterFalseHits += Seq.FilterFalseHits;
+      Result.BudgetAborted = Result.BudgetAborted || Seq.BudgetAborted;
+      Result.SpillFallback = Result.SpillFallback || Seq.SpillFallback;
       if (!Seq.Ok && Seq.Cex)
         Result.Cex = std::move(Seq.Cex);
       else

@@ -96,6 +96,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace psketch {
@@ -148,6 +149,26 @@ enum class PorMode : uint8_t { Off, Local, Ample };
 ///    the inference refuses (asymmetric candidate, heap-owning bodies,
 ///    > 8 threads), Orbit behaves exactly like Off.
 enum class SymmetryMode : uint8_t { Off, Orbit };
+
+/// Where the visited set lives (docs/SPILL.md).
+///  * Memory (default): today's purely in-RAM tables. When
+///    CheckerConfig::VisitedBudgetBytes is nonzero it acts as an abort
+///    watermark: crossing it ends the search with Exhausted (and
+///    CheckResult::BudgetAborted), exactly like MaxStates.
+///  * Spill: a two-tier store. The in-RAM tables are bounded by
+///    VisitedBudgetBytes as an EVICTION watermark: crossing it migrates
+///    fully-explored fingerprints (stored sleep mask 0 — a disk hit is
+///    always a sound Prune) to sharded, log-structured, mmap'd runs of
+///    sorted 8-byte fingerprints under SpillDir, each shard fronted by
+///    an in-memory tag filter with no false negatives. Probes go filter
+///    → in-RAM tier → binary search over the runs, batched through the
+///    frontier pipeline. Spilled entries are fingerprint-grade even when
+///    the in-RAM tier is Exact (key bytes are dropped on eviction — the
+///    VisitedMode::Fingerprint one-sided-error trade applied to the cold
+///    set only; collisions can hide states, never fabricate a trace).
+///    I/O failure is never fatal: the store stops evicting and the
+///    search continues in RAM (CheckResult::SpillFallback).
+enum class VisitedStore : uint8_t { Memory, Spill };
 
 /// Tuning knobs for the checker.
 struct CheckerConfig {
@@ -209,6 +230,21 @@ struct CheckerConfig {
   /// counterexample is byte-identical to the BatchWidth == 1 trace.
   /// Typical sweet spot: DefaultBatchWidth.
   unsigned BatchWidth = 1;
+  /// Visited-store tier (see the VisitedStore doc): Memory (default)
+  /// keeps every visited key in RAM; Spill evicts fully-explored
+  /// fingerprints to sorted on-disk runs when VisitedBudgetBytes is
+  /// crossed.
+  VisitedStore Store = VisitedStore::Memory;
+  /// Spill mode only: directory to create the run files under (a unique
+  /// per-search subdirectory is created inside it and removed when the
+  /// search ends). Empty = the system temp directory.
+  std::string SpillDir;
+  /// Byte budget for the in-RAM visited tier, measured by
+  /// CheckResult::VisitedBytes accounting. 0 = unlimited. With Store ==
+  /// Memory a nonzero budget is an abort watermark (Exhausted +
+  /// BudgetAborted once crossed); with Store == Spill it is the eviction
+  /// watermark that triggers spilling.
+  uint64_t VisitedBudgetBytes = 0;
 };
 
 /// The batch width `psketch_tool --batch` (and the benches) use when the
@@ -237,11 +273,32 @@ struct CheckResult {
   /// Fingerprint collisions detected by the audit (0 unless
   /// AuditFingerprints; always 0 in Exact mode).
   uint64_t FingerprintCollisions = 0;
-  /// Bytes of visited-set keys owned at the end of the run (exact key
-  /// bytes, 8 per fingerprint, plus any audit side-table keys), summed
-  /// across search phases — the bench's bytes/state numerator. Excludes
-  /// hash-table bucket overhead, which is proportional for both modes.
+  /// Bytes of visited-set memory owned by the in-RAM tier at the end of
+  /// the run — key-arena chunk capacity, slot arrays' key bytes (8 per
+  /// fingerprint), and the audit side-table — summed across search
+  /// phases: the bench's RAM bytes/state numerator (add SpillBytes for
+  /// the end-to-end figure). Excludes hash-table bucket overhead, which
+  /// is proportional for both modes. Eviction (VisitedStore::Spill)
+  /// shrinks it.
   uint64_t VisitedBytes = 0;
+  /// Spill-tier observability (VisitedStore::Spill; all zero otherwise,
+  /// see docs/SPILL.md). Fingerprints evicted to disk; live bytes in the
+  /// on-disk runs; shard run-merge operations; probes the per-shard
+  /// filter passed that the runs refuted (the filter's false-positive
+  /// cost — one wasted binary search each, never a wrong answer).
+  uint64_t SpilledStates = 0;
+  uint64_t SpillBytes = 0;
+  uint64_t RunMerges = 0;
+  uint64_t FilterFalseHits = 0;
+  /// Store == Memory with a nonzero VisitedBudgetBytes only: the search
+  /// stopped because the in-RAM tier crossed the budget (Exhausted is
+  /// also set — the verdict means "Ok up to the budget").
+  bool BudgetAborted = false;
+  /// Store == Spill only: the spill directory could not be created or a
+  /// run write failed mid-stream, so some or all of the search ran
+  /// purely in RAM (sound — nothing was lost; the budget stops evicting
+  /// and is no longer enforced).
+  bool SpillFallback = false;
   /// POR observability (PorMode::Ample; all zero otherwise). States with
   /// two or more ready contexts expanded through a singleton ample set /
   /// expanded in full (no independent candidate, or the cycle proviso

@@ -105,6 +105,10 @@ struct SearchShared {
   /// declared before Visited, which aliases it. Canonicalization happens
   /// outside the shard locks (verify/Visited.h), so workers share one.
   std::unique_ptr<Canonicalizer> Canon;
+  /// Disk tier (VisitedStore::Spill only); declared before Visited,
+  /// which aliases it. Needs no locking of its own: spill shard k is
+  /// only ever touched by visited shard k, under that shard's mutex.
+  std::unique_ptr<detail::SpillStore> Spill;
   detail::ShardedVisited Visited;
   std::atomic<uint64_t> StatesExplored{0};
   std::atomic<uint64_t> StatesDeduped{0};
@@ -122,8 +126,15 @@ struct SearchShared {
         Canon(Cfg.Symmetry == SymmetryMode::Orbit
                   ? std::make_unique<Canonicalizer>(M)
                   : nullptr),
+        Spill(Cfg.Store == VisitedStore::Spill
+                  ? std::make_unique<detail::SpillStore>(Cfg.SpillDir)
+                  : nullptr),
         Visited(Cfg, &hashWords,
-                Canon && Canon->active() ? Canon.get() : nullptr) {}
+                Canon && Canon->active() ? Canon.get() : nullptr,
+                // A failed store is still handed over: the cells see
+                // !ok() and waive the budget (SpillFallback), instead of
+                // treating the budget as a Memory-mode abort watermark.
+                Spill.get()) {}
 
   /// Records a violation (keeping the canonical-minimal trace) and
   /// cancels the search.
@@ -150,7 +161,8 @@ struct SearchShared {
         return;
       }
       ++WorkerStates;
-      if (StatesExplored.fetch_add(1) + 1 >= Cfg.MaxStates) {
+      if (StatesExplored.fetch_add(1) + 1 >= Cfg.MaxStates ||
+          Visited.overBudget()) {
         Exhausted.store(true);
         Stop.store(true);
         return;
@@ -275,7 +287,8 @@ struct SearchShared {
         if (Batch.ins(0) == detail::InsertOutcome::Fresh) {
           AmpleCount.fetch_add(1);
           ++WorkerStates;
-          if (StatesExplored.fetch_add(1) + 1 >= Cfg.MaxStates) {
+          if (StatesExplored.fetch_add(1) + 1 >= Cfg.MaxStates ||
+              Visited.overBudget()) {
             Exhausted.store(true);
             Stop.store(true);
             return;
@@ -312,7 +325,8 @@ struct SearchShared {
           continue;
         }
         ++WorkerStates;
-        if (StatesExplored.fetch_add(1) + 1 >= Cfg.MaxStates) {
+        if (StatesExplored.fetch_add(1) + 1 >= Cfg.MaxStates ||
+            Visited.overBudget()) {
           Exhausted.store(true);
           Stop.store(true);
           return;
@@ -483,6 +497,15 @@ CheckResult psketch::verify::detail::checkCandidateParallel(
   Result.Exhausted = Shared.Exhausted.load();
   Result.FingerprintCollisions = Shared.Visited.collisions();
   Result.VisitedBytes = Shared.Visited.keyBytes();
+  Result.BudgetAborted = Shared.Visited.overBudget();
+  if (Shared.Spill) {
+    Result.VisitedBytes += Shared.Spill->filterBytes();
+    Result.SpilledStates = Shared.Spill->spilledStates();
+    Result.SpillBytes = Shared.Spill->spillBytes();
+    Result.RunMerges = Shared.Spill->runMerges();
+    Result.FilterFalseHits = Shared.Spill->filterFalseHits();
+    Result.SpillFallback = !Shared.Spill->ok();
+  }
   if (Shared.Canon) {
     Result.SymmetryOrbits = Shared.Canon->numOrbits();
     Result.CanonHits = Shared.Canon->canonHits();
@@ -521,6 +544,12 @@ CheckResult psketch::verify::detail::checkCandidateParallel(
     Result.StatesDeduped += Seq.StatesDeduped;
     Result.FingerprintCollisions += Seq.FingerprintCollisions;
     Result.VisitedBytes += Seq.VisitedBytes;
+    Result.SpilledStates += Seq.SpilledStates;
+    Result.SpillBytes += Seq.SpillBytes;
+    Result.RunMerges += Seq.RunMerges;
+    Result.FilterFalseHits += Seq.FilterFalseHits;
+    Result.BudgetAborted = Result.BudgetAborted || Seq.BudgetAborted;
+    Result.SpillFallback = Result.SpillFallback || Seq.SpillFallback;
     if (!Seq.Ok && Seq.Cex) {
       Result.Cex = std::move(Seq.Cex);
       return Result;

@@ -44,6 +44,20 @@
 /// coordinates on the way in and back out on Wake, which is what makes
 /// mask subset checks across symmetric revisits meaningful.
 ///
+/// Spill tier (CheckerConfig::Store == VisitedStore::Spill,
+/// docs/SPILL.md): each cell can be bounded by a byte budget and backed
+/// by a SpillStore. Crossing the budget evicts the fingerprints of
+/// mask-0 entries — whose revisits the in-memory table would always
+/// Prune ((0 & ~Sleep) == 0 for every Sleep), so a disk hit reproduces
+/// the in-memory decision exactly — to sorted on-disk runs; entries
+/// carrying a live sleep mask stay resident. Probes consult the disk
+/// tier only on an in-memory miss, BEFORE inserting, so a spilled
+/// subtree is never re-explored and StatesExplored parity with Memory
+/// mode is preserved. Batched probes pre-compute per-lane disk hints in
+/// one sorted sweep (spillHints); an eviction epoch invalidates hints
+/// that predate a mid-batch spill. Without a budget or store this is
+/// all compiled down to a null-pointer check per insert.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSKETCH_VERIFY_VISITED_H
@@ -53,7 +67,10 @@
 #include "support/Hash.h"
 #include "verify/Canon.h"
 #include "verify/ModelChecker.h"
+#include "verify/SpillStore.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <memory>
@@ -112,6 +129,8 @@ public:
       init(Key.size());
     if (Key.size() != KeyLen) {
       auto [It, New] = Odd.try_emplace(std::string(Key), Mask0);
+      if (New)
+        OddBytes += It->first.size() + sizeof(std::string) + sizeof(uint64_t);
       return {&It->second, New};
     }
     if ((Count + 1) * 10 > Slots.size() * 7)
@@ -196,6 +215,54 @@ public:
       __builtin_prefetch(K + Off);
   }
 
+  /// Bytes this table owns right now: the slot array, the key-arena
+  /// chunks at their allocated (not just occupied) size, the mask array,
+  /// and the odd-key side map. O(1) — it is the Exact-mode component of
+  /// the in-RAM budget meter, consulted per insert.
+  size_t ownedBytes() const {
+    return Slots.size() * sizeof(Slot) +
+           Arena.size() * std::max<size_t>(1, KeyLen << KeysPerChunkLog2) +
+           Masks.size() * sizeof(uint64_t) + OddBytes;
+  }
+
+  /// Appends the fingerprint of every mask-0 entry to \p Out — the
+  /// spill-eligible set: a mask-0 revisit always resolves to Prune, so
+  /// a disk hit reproduces the in-memory decision exactly. Odd-length
+  /// keys stay resident (they are rare packed-layout escapes). Does not
+  /// modify the table: the caller commits via dropZeroMask() only after
+  /// the spill succeeded, so an I/O failure loses nothing.
+  void collectZeroMaskFps(std::vector<uint64_t> &Out) const {
+    for (const Slot &S : Slots)
+      if (S.Idx != Absent && Masks[S.Idx] == 0)
+        Out.push_back(S.Fp);
+  }
+
+  /// Rebuilds the table retaining only entries with a nonzero stored
+  /// mask (plus every odd-key entry) — the eviction commit paired with
+  /// collectZeroMaskFps. Their key bytes are dropped: membership of the
+  /// evicted set is answered by fingerprint from here on (docs/SPILL.md
+  /// one-sided-error argument).
+  void dropZeroMask() {
+    if (Slots.empty())
+      return;
+    std::vector<Slot> OldSlots;
+    OldSlots.swap(Slots);
+    std::vector<std::unique_ptr<char[]>> OldArena;
+    OldArena.swap(Arena);
+    std::vector<uint64_t> OldMasks;
+    OldMasks.swap(Masks);
+    Count = 0;
+    size_t Len = KeyLen;
+    init(Len);
+    for (const Slot &S : OldSlots) {
+      if (S.Idx == Absent || OldMasks[S.Idx] == 0)
+        continue;
+      const char *K = OldArena[S.Idx >> KeysPerChunkLog2].get() +
+                      (S.Idx & ((size_t(1) << KeysPerChunkLog2) - 1)) * Len;
+      findOrInsert(S.Fp, std::string_view(K, Len), OldMasks[S.Idx]);
+    }
+  }
+
 private:
   struct Slot {
     uint64_t Fp;
@@ -247,6 +314,7 @@ private:
   std::unordered_map<std::string, uint64_t> Odd; ///< off-stride keys -> mask
   size_t Count = 0;
   size_t KeyLen = 0;
+  size_t OddBytes = 0; ///< estimated bytes owned by Odd
 };
 
 /// One dedup domain: the whole table sequentially, one shard in the
@@ -258,31 +326,60 @@ private:
 /// what keeps that configuration allocation- and encoding-free.
 class VisitedCell {
 public:
+  /// Disk-hint values for insertMask's trailing parameter: the batched
+  /// pipeline pre-answers "is this fingerprint spilled?" for a whole
+  /// batch in one sorted sweep (spillHints); HintUnknown makes the
+  /// insert probe the disk itself (the scalar path).
+  static constexpr uint8_t HintMiss = 0;
+  static constexpr uint8_t HintHit = 1;
+  static constexpr uint8_t HintUnknown = 2;
+
+  /// Attaches the disk tier (\p S null = VisitedStore::Memory) and the
+  /// in-RAM byte budget (0 = unlimited; an abort watermark without a
+  /// store, the eviction watermark with one). Called once, before any
+  /// insert.
+  void configure(SpillStore *S, uint64_t BudgetBytes) {
+    Spill = S;
+    Budget = BudgetBytes;
+  }
+
   /// Mask-aware check-and-insert. \p Sleep is the sleep mask the state
   /// is being entered with (0 when sleep sets are off); on Wake,
   /// \p WakeOut receives the transitions a prior visit slept through
   /// that this one must explore. \p Fp is the state's fingerprint: the
-  /// Fingerprint-mode key, the Exact-mode placement hint.
+  /// Fingerprint-mode key, the Exact-mode placement hint, and the spill
+  /// tier's key. The disk tier is consulted only on an in-memory miss,
+  /// BEFORE inserting — a spilled subtree is never re-explored, so
+  /// Memory and Spill runs explore the same states.
   InsertOutcome insertMask(VisitedMode Mode, bool Audit, uint64_t AuditBudget,
                            uint64_t Fp, uint64_t Sleep, uint64_t &WakeOut,
-                           std::string_view Key) {
+                           std::string_view Key,
+                           uint8_t DiskHint = HintUnknown) {
     uint64_t *Slot = nullptr;
     if (Mode == VisitedMode::Exact) {
+      // The extra find() is paid only once something has spilled: until
+      // then diskHas() is false without touching the table.
+      if (Spill && SpillEpoch != 0 && !Flat.find(Fp, Key) &&
+          diskHas(Fp, DiskHint))
+        return InsertOutcome::Prune;
       auto [MaskSlot, New] = Flat.findOrInsert(Fp, Key, Sleep);
       if (New) {
-        KeyBytes += Key.size();
+        maybeEnforceBudget();
         return InsertOutcome::Fresh;
       }
       Slot = MaskSlot;
     } else {
-      auto [It, New] = Fps.try_emplace(Fp, Sleep);
-      if (New) {
-        KeyBytes += sizeof(uint64_t);
+      auto It = Fps.find(Fp);
+      if (It == Fps.end()) {
+        if (diskHas(Fp, DiskHint))
+          return InsertOutcome::Prune;
+        It = Fps.emplace(Fp, Sleep).first;
         if (Audit && AuditEntries < AuditBudget) {
-          KeyBytes += Key.size();
+          AuditBytes += Key.size() + sizeof(std::string);
           AuditKeys[Fp].emplace_back(Key);
           ++AuditEntries;
         }
+        maybeEnforceBudget();
         return InsertOutcome::Fresh;
       }
       // Fingerprint hit. When audited (and within budget at first sight)
@@ -302,7 +399,7 @@ public:
             }
           if (!Seen) {
             ++Collisions;
-            KeyBytes += Key.size();
+            AuditBytes += Key.size() + sizeof(std::string);
             AIt->second.emplace_back(Key);
             return InsertOutcome::Fresh;
           }
@@ -317,20 +414,73 @@ public:
   /// Plain check-and-insert (the mask-0 case). \returns true when the
   /// state was newly inserted (caller explores it), false on a revisit.
   bool insert(VisitedMode Mode, bool Audit, uint64_t AuditBudget, uint64_t Fp,
-              std::string_view Key) {
+              std::string_view Key, uint8_t DiskHint = HintUnknown) {
     uint64_t Wake = 0;
-    return insertMask(Mode, Audit, AuditBudget, Fp, /*Sleep=*/0, Wake, Key) ==
-           InsertOutcome::Fresh;
+    return insertMask(Mode, Audit, AuditBudget, Fp, /*Sleep=*/0, Wake, Key,
+                      DiskHint) == InsertOutcome::Fresh;
   }
 
   /// Read-only membership probe (the parallel/BFS cycle proviso). In
   /// Fingerprint mode a collision can answer a false "yes", which only
-  /// forces a sound full expansion.
+  /// forces a sound full expansion — and so can a spilled-tier hit,
+  /// for the same reason with the same consequence.
   bool contains(VisitedMode Mode, uint64_t Fp, std::string_view Key) const {
     if (Mode == VisitedMode::Exact)
-      return Flat.find(Fp, Key);
-    return Fps.count(Fp) != 0;
+      return Flat.find(Fp, Key) || diskHas(Fp, HintUnknown);
+    return Fps.count(Fp) != 0 || diskHas(Fp, HintUnknown);
   }
+
+  /// Batched disk pre-probe over \p Lanes fingerprints (the frontier
+  /// pipeline's spill sweep): fills Hint[K] with HintHit/HintMiss and
+  /// returns the eviction epoch the answers are valid for. A lane whose
+  /// insert runs after a newer eviction must downgrade its hint to
+  /// HintUnknown — the eviction may have just spilled a sibling lane's
+  /// fingerprint. Pre-probing every lane is safe because hints are only
+  /// consulted on an in-memory miss. All-HintMiss (trivially valid)
+  /// when nothing has spilled yet. Lanes are sorted by (shard, value)
+  /// so every on-disk run is swept once, monotonically.
+  uint64_t spillHints(const uint64_t *Fp, unsigned Lanes,
+                      uint8_t *Hint) const {
+    if (!Spill || SpillEpoch == 0) {
+      std::fill(Hint, Hint + Lanes, HintMiss);
+      return SpillEpoch;
+    }
+    static thread_local std::vector<std::pair<uint64_t, unsigned>> Order;
+    static thread_local std::vector<uint64_t> SortedFp;
+    static thread_local std::vector<uint8_t> SortedHit;
+    Order.clear();
+    for (unsigned K = 0; K < Lanes; ++K)
+      Order.emplace_back(Fp[K], K);
+    std::sort(Order.begin(), Order.end(), [](const auto &A, const auto &B) {
+      unsigned SA = A.first & (SpillStore::NumShards - 1);
+      unsigned SB = B.first & (SpillStore::NumShards - 1);
+      return SA != SB ? SA < SB : A.first < B.first;
+    });
+    SortedFp.resize(Lanes);
+    SortedHit.resize(Lanes);
+    for (unsigned K = 0; K < Lanes; ++K)
+      SortedFp[K] = Order[K].first;
+    for (unsigned Lo = 0; Lo < Lanes;) {
+      unsigned Shard = SortedFp[Lo] & (SpillStore::NumShards - 1);
+      unsigned Hi = Lo + 1;
+      while (Hi < Lanes &&
+             (SortedFp[Hi] & (SpillStore::NumShards - 1)) == Shard)
+        ++Hi;
+      Spill->containsBatch(Shard, SortedFp.data() + Lo, Hi - Lo,
+                           SortedHit.data() + Lo);
+      Lo = Hi;
+    }
+    for (unsigned K = 0; K < Lanes; ++K)
+      Hint[Order[K].second] = SortedHit[K] ? HintHit : HintMiss;
+    return SpillEpoch;
+  }
+
+  /// Monotone eviction counter validating spillHints results.
+  uint64_t spillEpoch() const { return SpillEpoch; }
+
+  /// True once a Memory-mode budget was crossed (the abort watermark;
+  /// never set in Spill mode, where the budget evicts instead).
+  bool overBudget() const { return OverBudget; }
 
   /// Exact-mode batched-probe pipeline stages (no-ops on an empty
   /// table; meaningless but harmless in Fingerprint mode, where callers
@@ -340,7 +490,14 @@ public:
   void prefetchKeyLines(const char *K) const { Flat.prefetchKeyLines(K); }
 
   uint64_t collisions() const { return Collisions; }
-  uint64_t keyBytes() const { return KeyBytes; }
+
+  /// Bytes the in-RAM tier owns right now — the exact table's
+  /// slots/arena/masks, 8 per resident fingerprint, and the audit
+  /// side-table. Computed (not cumulative), so eviction shrinks it;
+  /// it is also the budget meter.
+  uint64_t keyBytes() const {
+    return Flat.ownedBytes() + Fps.size() * sizeof(uint64_t) + AuditBytes;
+  }
 
 private:
   /// The shared revisit tail: the prior visits explored everything
@@ -356,12 +513,96 @@ private:
     return InsertOutcome::Wake;
   }
 
+  /// Is \p Fp in the disk tier? False before anything spilled; a valid
+  /// batched hint answers without touching the store.
+  bool diskHas(uint64_t Fp, uint8_t Hint) const {
+    if (!Spill || SpillEpoch == 0)
+      return false;
+    if (Hint != HintUnknown)
+      return Hint == HintHit;
+    return Spill->contains(Fp & (SpillStore::NumShards - 1), Fp);
+  }
+
+  /// Budget watermark, consulted after every fresh insert. Memory mode:
+  /// crossing it latches OverBudget (the engines abort like MaxStates).
+  /// Spill mode: crossing it evicts. A failed store cannot accept
+  /// evictions — everything stays in RAM (sound; surfaced as
+  /// CheckResult::SpillFallback) and the budget is waived.
+  void maybeEnforceBudget() {
+    uint64_t Bytes;
+    if (Budget == 0 || (Bytes = keyBytes()) <= Budget)
+      return;
+    if (!Spill) {
+      OverBudget = true;
+      return;
+    }
+    if (!Spill->ok() || Bytes < SpillRearmAt)
+      return;
+    spillNow();
+    uint64_t After = keyBytes();
+    // Hysteresis: when eviction freed little (mask-carrying entries
+    // cannot spill), retry only after the tier has grown by a quarter
+    // budget — never a full-table scan per insert.
+    SpillRearmAt = After > Budget ? After + Budget / 4 + 1024 : 0;
+  }
+
+  /// Evicts every mask-0 fingerprint to the disk tier. All-or-nothing
+  /// commit: the in-RAM entries are erased only after every shard's run
+  /// was written, so an I/O failure mid-way loses nothing (some
+  /// fingerprints then live in both tiers, which is sound — the
+  /// in-memory probe answers first).
+  void spillNow() {
+    std::vector<uint64_t> Evict;
+    for (const auto &KV : Fps)
+      if (KV.second == 0)
+        Evict.push_back(KV.first);
+    Flat.collectZeroMaskFps(Evict);
+    if (Evict.empty())
+      return; // every resident entry carries a live sleep mask
+    std::sort(Evict.begin(), Evict.end(), [](uint64_t A, uint64_t B) {
+      unsigned SA = A & (SpillStore::NumShards - 1);
+      unsigned SB = B & (SpillStore::NumShards - 1);
+      return SA != SB ? SA < SB : A < B;
+    });
+    Evict.erase(std::unique(Evict.begin(), Evict.end()), Evict.end());
+    ++SpillEpoch; // batched disk hints issued before this are now stale
+    bool AllOk = true;
+    for (size_t Lo = 0; Lo < Evict.size() && AllOk;) {
+      unsigned Shard = Evict[Lo] & (SpillStore::NumShards - 1);
+      size_t Hi = Lo + 1;
+      while (Hi < Evict.size() &&
+             (Evict[Hi] & (SpillStore::NumShards - 1)) == Shard)
+        ++Hi;
+      AllOk = Spill->spill(Shard, Evict.data() + Lo, Hi - Lo);
+      Lo = Hi;
+    }
+    if (!AllOk)
+      return; // store marked failed; every entry stays resident
+    for (uint64_t Fp : Evict) {
+      Fps.erase(Fp);
+      auto It = AuditKeys.find(Fp);
+      if (It == AuditKeys.end())
+        continue;
+      // The spilled set is fingerprint-grade: its audit keys go too.
+      for (const std::string &K : It->second)
+        AuditBytes -= K.size() + sizeof(std::string);
+      AuditEntries -= It->second.size();
+      AuditKeys.erase(It);
+    }
+    Flat.dropZeroMask();
+  }
+
   FlatExactTable Flat;                        ///< Exact-mode store
   std::unordered_map<uint64_t, uint64_t> Fps; ///< fp -> sleep mask
   std::unordered_map<uint64_t, std::vector<std::string>> AuditKeys;
   uint64_t AuditEntries = 0;
   uint64_t Collisions = 0;
-  uint64_t KeyBytes = 0;
+  uint64_t AuditBytes = 0;   ///< bytes owned by the audit side-table
+  SpillStore *Spill = nullptr; ///< disk tier (null = Memory mode)
+  uint64_t Budget = 0;         ///< in-RAM byte budget (0 = unlimited)
+  uint64_t SpillEpoch = 0;     ///< evictions so far (hint validity)
+  uint64_t SpillRearmAt = 0;   ///< eviction hysteresis threshold
+  bool OverBudget = false;     ///< Memory-mode abort watermark latched
 };
 
 /// The sequential engine's visited table.
@@ -369,9 +610,12 @@ class VisitedTable {
 public:
   explicit VisitedTable(const CheckerConfig &Cfg,
                         StateHashFn Hash = &hashWords,
-                        const Canonicalizer *Canon = nullptr)
+                        const Canonicalizer *Canon = nullptr,
+                        SpillStore *Spill = nullptr)
       : Mode(Cfg.Visited), Audit(Cfg.AuditFingerprints),
-        AuditBudget(Cfg.AuditBudget), Hash(Hash), Canon(Canon) {}
+        AuditBudget(Cfg.AuditBudget), Hash(Hash), Canon(Canon) {
+    Cell.configure(Spill, Cfg.VisitedBudgetBytes);
+  }
 
   /// \returns true when \p S was newly inserted.
   bool insert(const exec::Machine &M, const exec::State &S) {
@@ -419,7 +663,10 @@ public:
                        const unsigned *PermIdx, const uint64_t *Sleep,
                        InsertOutcome *Out, uint64_t *WakeOut) {
     static thread_local std::vector<int64_t> Tmp;
+    static thread_local std::vector<uint8_t> Hints;
     Tmp.resize(B.numWords());
+    Hints.resize(Lanes);
+    uint64_t Epoch = Cell.spillHints(Fp, Lanes, Hints.data());
     if (Mode == VisitedMode::Exact) {
       static thread_local std::vector<const char *> Keys;
       Keys.resize(Lanes);
@@ -440,8 +687,9 @@ public:
         B.gatherLane(K, Tmp.data());
         Key = M.encodeWordsView(Tmp.data());
       }
-      InsertOutcome O = Cell.insertMask(Mode, Audit, AuditBudget, Fp[K],
-                                        CSleep, CWake, Key);
+      InsertOutcome O = Cell.insertMask(
+          Mode, Audit, AuditBudget, Fp[K], CSleep, CWake, Key,
+          Cell.spillEpoch() == Epoch ? Hints[K] : VisitedCell::HintUnknown);
       Out[K] = O;
       WakeOut[K] =
           O == InsertOutcome::Wake
@@ -463,6 +711,9 @@ public:
                             const uint64_t *Sleep, unsigned Lanes,
                             InsertOutcome *Out, uint64_t *WakeOut) {
     assert(!Canon && "canonicalized batches go through insertMaskBatch");
+    static thread_local std::vector<uint8_t> Hints;
+    Hints.resize(Lanes);
+    uint64_t Epoch = Cell.spillHints(Fp, Lanes, Hints.data());
     if (Mode == VisitedMode::Exact) {
       static thread_local std::vector<const char *> Keys;
       Keys.resize(Lanes);
@@ -476,8 +727,9 @@ public:
     }
     for (unsigned K = 0; K < Lanes; ++K) {
       uint64_t Wake = 0;
-      Out[K] = Cell.insertMask(Mode, Audit, AuditBudget, Fp[K], Sleep[K],
-                               Wake, keyView(M, W[K]));
+      Out[K] = Cell.insertMask(
+          Mode, Audit, AuditBudget, Fp[K], Sleep[K], Wake, keyView(M, W[K]),
+          Cell.spillEpoch() == Epoch ? Hints[K] : VisitedCell::HintUnknown);
       WakeOut[K] = Out[K] == InsertOutcome::Wake ? Wake : 0;
     }
   }
@@ -492,6 +744,10 @@ public:
 
   uint64_t collisions() const { return Cell.collisions(); }
   uint64_t keyBytes() const { return Cell.keyBytes(); }
+
+  /// True once a Memory-mode byte budget was crossed (the engines treat
+  /// it exactly like hitting MaxStates).
+  bool overBudget() const { return Cell.overBudget(); }
 
 private:
   const int64_t *keyWords(const exec::State &S, unsigned &PermIdx) const {
@@ -530,10 +786,21 @@ class ShardedVisited {
 public:
   explicit ShardedVisited(const CheckerConfig &Cfg,
                           StateHashFn Hash = &hashWords,
-                          const Canonicalizer *Canon = nullptr)
+                          const Canonicalizer *Canon = nullptr,
+                          SpillStore *Spill = nullptr)
       : Mode(Cfg.Visited), Audit(Cfg.AuditFingerprints),
         AuditBudget(Cfg.AuditBudget / NumShards + 1), Hash(Hash),
-        Canon(Canon) {}
+        Canon(Canon) {
+    // SpillStore::NumShards == our NumShards and both stripe on Fp & 63,
+    // so cell k only ever touches spill shard k — always under cell k's
+    // mutex, which is the store's whole synchronization story.
+    static_assert(SpillStore::NumShards == NumShards,
+                  "spill shards must mirror visited shards");
+    uint64_t PerShard =
+        Cfg.VisitedBudgetBytes ? Cfg.VisitedBudgetBytes / NumShards + 1 : 0;
+    for (ShardT &S : Shards)
+      S.Cell.configure(Spill, PerShard);
+  }
 
   /// \returns true when \p S was newly inserted. Check-and-insert is
   /// atomic per shard. The canonical image (and its fingerprint, which
@@ -545,7 +812,11 @@ public:
     uint64_t Fp = M.fingerprintWordsWith(W, Hash);
     ShardT &Shard = Shards[Fp & (NumShards - 1)];
     std::lock_guard<std::mutex> Lock(Shard.Mu);
-    return Shard.Cell.insert(Mode, Audit, AuditBudget, Fp, keyView(M, W));
+    bool Fresh = Shard.Cell.insert(Mode, Audit, AuditBudget, Fp,
+                                   keyView(M, W));
+    if (Shard.Cell.overBudget())
+      AnyOverBudget.store(true, std::memory_order_relaxed);
+    return Fresh;
   }
 
   /// True when \p S is already in the table. Used by the parallel ample
@@ -597,6 +868,17 @@ public:
         }
       ShardT &Shard = Shards[ShardIdx];
       std::lock_guard<std::mutex> Lock(Shard.Mu);
+      // Disk hints for the whole group in one sorted sweep, under the
+      // same lock the inserts run under; a mid-group eviction (epoch
+      // bump) downgrades the remaining lanes to a scalar disk probe.
+      static thread_local std::vector<uint64_t> GFp;
+      static thread_local std::vector<uint8_t> GHint;
+      GFp.clear();
+      for (unsigned J : Group)
+        GFp.push_back(Fp[J]);
+      GHint.resize(Group.size());
+      uint64_t Epoch = Shard.Cell.spillHints(
+          GFp.data(), static_cast<unsigned>(Group.size()), GHint.data());
       if (Mode == VisitedMode::Exact) {
         for (unsigned J : Group)
           Shard.Cell.prefetchSlot(Fp[J]);
@@ -604,7 +886,8 @@ public:
           if (const char *K = Shard.Cell.touchKey(Fp[J]))
             Shard.Cell.prefetchKeyLines(K);
       }
-      for (unsigned J : Group) {
+      for (size_t GI = 0; GI < Group.size(); ++GI) {
+        unsigned J = Group[GI];
         std::string_view Key;
         if (Mode == VisitedMode::Exact || Audit) {
           const int64_t *W;
@@ -616,8 +899,13 @@ public:
           }
           Key = M.encodeWordsView(W);
         }
-        Fresh[J] = Shard.Cell.insert(Mode, Audit, AuditBudget, Fp[J], Key);
+        Fresh[J] = Shard.Cell.insert(Mode, Audit, AuditBudget, Fp[J], Key,
+                                     Shard.Cell.spillEpoch() == Epoch
+                                         ? GHint[GI]
+                                         : VisitedCell::HintUnknown);
       }
+      if (Shard.Cell.overBudget())
+        AnyOverBudget.store(true, std::memory_order_relaxed);
     }
   }
 
@@ -642,6 +930,13 @@ public:
     return Total;
   }
 
+  /// True once ANY shard crossed a Memory-mode budget (one relaxed load
+  /// — cheap enough for the workers' per-state abort check; the flag is
+  /// set under the crossing shard's lock).
+  bool overBudget() const {
+    return AnyOverBudget.load(std::memory_order_relaxed);
+  }
+
 private:
   static constexpr size_t NumShards = 64;
   struct alignas(64) ShardT {
@@ -659,6 +954,7 @@ private:
   uint64_t AuditBudget;
   StateHashFn Hash;
   const Canonicalizer *Canon;
+  std::atomic<bool> AnyOverBudget{false};
   ShardT Shards[NumShards];
 };
 

@@ -252,10 +252,15 @@ TEST(StateEngine, FingerprintShrinksVisitedBytes) {
   EXPECT_EQ(RE.Ok, RF.Ok);
   EXPECT_EQ(RE.StatesExplored, RF.StatesExplored);
   ASSERT_GT(RE.StatesExplored, 0u);
-  // Exact owns schedWords * 8 bytes per state; fingerprints own 8.
+  // Fingerprints own exactly 8 bytes per resident state. Exact owns at
+  // least schedWords * 8 key bytes per state, plus the slot array and
+  // the arena-chunk slack the accounting now includes (it meters real
+  // ownership, not just occupied key bytes), which is bounded by a
+  // small constant factor.
   EXPECT_EQ(RF.VisitedBytes, 8 * RF.StatesExplored);
-  EXPECT_EQ(RE.VisitedBytes,
-            uint64_t{ME.schedWords()} * 8 * RE.StatesExplored);
+  uint64_t ExactKeyBytes = uint64_t{ME.schedWords()} * 8 * RE.StatesExplored;
+  EXPECT_GE(RE.VisitedBytes, ExactKeyBytes);
+  EXPECT_LE(RE.VisitedBytes, 8 * ExactKeyBytes + (1u << 20));
   EXPECT_LE(2 * RF.VisitedBytes, RE.VisitedBytes);
 }
 
