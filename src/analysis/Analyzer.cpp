@@ -29,6 +29,8 @@ AnalysisResult psketch::analysis::analyze(Program &P,
     runSketchLint(P, FP, Cfg, Sink, Out);
   if (Cfg.AbsInt)
     runAbsIntScreen(P, FP, Cfg, Sink, Out);
+  if (Cfg.Shape)
+    runShapeScreen(P, FP, Cfg, Sink, Out);
   Out.Diags = Sink.take();
   return Out;
 }

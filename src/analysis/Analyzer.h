@@ -49,6 +49,9 @@
 namespace psketch {
 namespace analysis {
 
+/// The PSKETCH_SHAPE environment default (defined in Shape.cpp).
+bool defaultShape();
+
 /// Knobs for the analyzer. The enumeration caps bound the work each pass
 /// may spend per guard / hole / reorder block; exceeding a cap silently
 /// skips the (optional) finding, never affecting soundness.
@@ -57,6 +60,7 @@ struct AnalysisConfig {
   bool Prescreen = true; ///< run the lockset + wait-graph pre-screen
   bool Lint = true;      ///< run the sketch lint pass
   bool AbsInt = true;    ///< run the interval + lockset screen (AbsInt.h)
+  bool Shape = defaultShape(); ///< run the points-to + shape lint (Shape.h)
   uint64_t MaxGuardEnum = 4096;       ///< assignments per static guard
   unsigned MaxHoleChoices = 64;       ///< equivalence scan per-hole cap
   uint64_t MaxReorderEnum = 4096;     ///< assignments per reorder block
@@ -94,6 +98,14 @@ struct AnalysisResult {
   /// Eraser-style inconsistent-locking warnings emitted by the abstract
   /// interpretation screen (subset of Diags, counted for --stats).
   unsigned RaceWarnings = 0;
+
+  /// Pass-5 shape counters (--stats): allocation sites tracked by the
+  /// whole-space points-to solution, proven must-not-alias deref pairs,
+  /// and heap-field race warnings (the latter a subset of Diags). All
+  /// zero when the pass is off or refused (site overflow).
+  unsigned ShapeSites = 0;
+  uint64_t MustNotAliasPairs = 0;
+  unsigned HeapRaceWarnings = 0;
 
   bool hasErrors() const {
     for (const Diagnostic &D : Diags)
@@ -136,6 +148,12 @@ void runSketchLint(ir::Program &P, const flat::FlatProgram &FP,
 void runAbsIntScreen(ir::Program &P, const flat::FlatProgram &FP,
                      const AnalysisConfig &Cfg, DiagnosticSink &Sink,
                      AnalysisResult &Out);
+/// The allocation-site points-to + shape lint screen (Shape.h):
+/// definite-null derefs, leaked sites, and heap-field races, plus the
+/// ShapeSites / MustNotAliasPairs counters.
+void runShapeScreen(ir::Program &P, const flat::FlatProgram &FP,
+                    const AnalysisConfig &Cfg, DiagnosticSink &Sink,
+                    AnalysisResult &Out);
 
 } // namespace analysis
 } // namespace psketch

@@ -16,6 +16,7 @@
 
 #include "analysis/SymmetryInfer.h"
 
+#include "analysis/PointsTo.h"
 #include "analysis/Util.h"
 #include "ir/StaticEval.h"
 
@@ -51,9 +52,13 @@ bool exprUsesHeap(ExprRef E) {
 }
 
 /// True when \p B allocates or touches heap fields. Heap-owning thread
-/// bodies refuse symmetry entirely: node identities are allocation-order
-/// artifacts, so renaming threads without renaming references is unsound
-/// and reference renaming is out of scope (docs/SYMMETRY.md, "Refusals").
+/// bodies are admitted only under the points-to discipline checked in
+/// inferSymmetry (heapDisciplined + siteGraphsIsomorphic): node ids are
+/// handed out by a GLOBAL counter, so the mirrored schedule of a swapped
+/// thread pair reproduces the exact same heap contents — but only when
+/// each thread's references provably stay on its own private nodes or
+/// the prologue/epilogue-built shared structure. The near-symmetry lint
+/// (no candidate, no points-to) still refuses heap bodies outright.
 bool bodyUsesHeap(const FlatBody &B) {
   for (const Step &S : B.Steps) {
     if (exprUsesHeap(S.StaticGuard) || exprUsesHeap(S.DynGuard) ||
@@ -156,6 +161,15 @@ public:
   /// Builds the finalized ThreadPerm from the accumulated constraints,
   /// or nullopt when a discipline check fails (strict mode only).
   std::optional<ThreadPerm> finalize() const {
+    // Heap discipline (D1): once any heap construct matched, only pure
+    // thread swaps are admitted — no slot or value relabeling. Node ids
+    // flow through locals, globals, and heap cells untyped, so a value
+    // map could silently relabel a reference the serializer cannot see.
+    if (HeapMatched)
+      for (size_t G = 0; G < P.globals().size(); ++G)
+        if (!ValCon[G].empty() || !SlotCon[G].empty())
+          return std::nullopt;
+
     ThreadPerm Perm;
     Perm.CtxMap = CtxMap;
     Perm.InvCtxMap.assign(CtxMap.size(), 0);
@@ -371,7 +385,13 @@ private:
     case ExprKind::LocalRead:
       return addLocalCon(A->Id, B->Id);
     case ExprKind::FieldRead:
-      return false; // backstop; heap bodies are refused before matching
+      // Same field, bases matched in a general position. Field values
+      // are node contents, not renameable state, so finalize() pins the
+      // whole plan to a pure swap once a heap construct matches.
+      if (A->Id != B->Id)
+        return false;
+      HeapMatched = true;
+      return matchExpr(A->Ops[0], B->Ops[0], Pos::None, NoGlobal, false);
     case ExprKind::HoleRead:
       return A->Id == B->Id ? true : site();
     case ExprKind::Choice: {
@@ -432,7 +452,10 @@ private:
     case Loc::Kind::Local:
       return addLocalCon(A.Id, B.Id);
     case Loc::Kind::Field:
-      return false;
+      if (A.Id != B.Id)
+        return false;
+      HeapMatched = true;
+      return matchExpr(A.Index, B.Index, Pos::None, NoGlobal, false);
     }
     return false;
   }
@@ -440,12 +463,18 @@ private:
   bool matchOp(const MicroOp &A, const MicroOp &B) {
     if (A.OpKind != B.OpKind)
       return false;
-    if (A.OpKind == MicroOp::Kind::Alloc)
-      return false; // backstop; heap bodies are refused before matching
     if ((A.Pred == nullptr) != (B.Pred == nullptr))
       return false;
     if (A.Pred && !matchExpr(A.Pred, B.Pred, Pos::None, NoGlobal, false))
       return false;
+    if (A.OpKind == MicroOp::Kind::Alloc) {
+      // Allocs correspond positionally; the fresh node lands in matched
+      // targets. Soundness of the id values rests on the global
+      // allocation counter: the mirrored schedule hands the swapped
+      // threads the same ids (see bodyUsesHeap's comment).
+      HeapMatched = true;
+      return matchLoc(A.Target, B.Target);
+    }
     if (A.OpKind == MicroOp::Kind::Assert)
       return matchExpr(A.Value, B.Value, Pos::None, NoGlobal, false);
     if (!matchLoc(A.Target, B.Target))
@@ -505,6 +534,9 @@ private:
   bool Lenient;
   unsigned Mismatches = 0;
   unsigned CurT = 0;
+  /// Set when any Alloc, field read, or field write participated in a
+  /// match; finalize() then restricts the plan to pure swaps (D1).
+  bool HeapMatched = false;
 
   /// Per thread: local slot -> image slot in the image thread (-1 open).
   std::vector<std::vector<int>> LocalCon;
@@ -598,6 +630,18 @@ bool renameExpr(const Program &P, const HoleAssignment &Holes, ExprRef E,
   case ExprKind::LocalRead:
     Out += 'l';
     Out += std::to_string(E->Id);
+    return true;
+  case ExprKind::FieldRead:
+    // Explicit case: the generic 'k' branch would drop E->Id and make
+    // reads of different fields serialize identically. Fields are never
+    // renamed, so identity and permuted serializations agree.
+    Out += 'f';
+    Out += std::to_string(E->Id);
+    Out += '(';
+    if (!renameExpr(P, Holes, E->Ops[0], Perm, Pos::None, NoGlobal, false,
+                    Out))
+      return false;
+    Out += ')';
     return true;
   case ExprKind::HoleRead:
     Out += 'h';
@@ -703,6 +747,62 @@ renamedEpilogue(const Program &P, const FlatProgram &FP,
   return Steps;
 }
 
+//===----------------------------------------------------------------------===//
+// Heap discipline (docs/SYMMETRY.md, "Heap bodies").
+//===----------------------------------------------------------------------===//
+
+/// The per-thread leg (D2) of the heap discipline: every thread's
+/// dereferences must resolve, must reach only its own private nodes or
+/// the prologue/epilogue-built shared structure, and every node a thread
+/// allocates must stay private to it. Under these facts the mirrored
+/// schedule of a thread swap reproduces the heap byte-for-byte (node ids
+/// come from the global allocation counter), which is what makes the
+/// swap an automorphism. On refusal, appends one explanatory note.
+bool heapDisciplined(const FlatProgram &FP, const PointsToResult &Pts,
+                     std::vector<std::string> &Notes) {
+  if (!Pts.Ran) {
+    Notes.push_back("symmetry refused: heap-owning thread bodies and the "
+                    "points-to analysis refused (too many allocation sites)");
+    return false;
+  }
+  unsigned N = static_cast<unsigned>(FP.Threads.size());
+  uint64_t SeqSites = 0; // prologue + epilogue allocations: shared, fine
+  std::vector<uint64_t> Owned(N, 0);
+  for (unsigned S = 0; S < Pts.Sites.size(); ++S) {
+    unsigned C = Pts.Sites[S].Ctx;
+    if (C >= N)
+      SeqSites |= 1ull << S;
+    else
+      Owned[C] |= 1ull << S;
+  }
+  for (unsigned T = 0; T < N; ++T) {
+    if ((Owned[T] & ~Pts.ThreadPrivate) != 0) {
+      Notes.push_back(
+          "symmetry refused: a thread-allocated node escapes its thread "
+          "(allocation order then names shared nodes asymmetrically)");
+      return false;
+    }
+    if (T >= Pts.Derefs.size())
+      continue;
+    for (const auto &KV : Pts.Derefs[T]) {
+      if (!KV.second.resolved()) {
+        Notes.push_back(
+            "symmetry refused: unresolved heap dereference in thread " +
+            std::to_string(T) +
+            " (cannot prove references stay thread-private)");
+        return false;
+      }
+      if ((KV.second.Sites & ~(Owned[T] | SeqSites)) != 0) {
+        Notes.push_back(
+            "symmetry refused: thread " + std::to_string(T) +
+            " dereferences another thread's private node");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 SymmetryPlan psketch::analysis::inferSymmetry(const Program &P,
@@ -721,13 +821,18 @@ SymmetryPlan psketch::analysis::inferSymmetry(const Program &P,
                          " threads (enumeration cap)");
     return Plan;
   }
+  // Heap bodies: admitted only under the points-to discipline. The
+  // candidate-mode solution is computed once and reused per permutation
+  // for the site-graph isomorphism check (D3).
+  bool AnyHeap = false;
   for (unsigned T = 0; T < N; ++T)
-    if (bodyUsesHeap(FP.Threads[T])) {
-      Plan.Notes.push_back(
-          "symmetry refused: heap-owning thread bodies (allocation order "
-          "names nodes, so thread renaming is not reference-safe)");
+    AnyHeap |= bodyUsesHeap(FP.Threads[T]);
+  PointsToResult Pts;
+  if (AnyHeap) {
+    Pts = runPointsTo(FP, &Holes);
+    if (!heapDisciplined(FP, Pts, Plan.Notes))
       return Plan;
-    }
+  }
 
   // The epilogue must serialize under the identity before any candidate
   // is worth trying (pure asserts only).
@@ -766,6 +871,17 @@ SymmetryPlan psketch::analysis::inferSymmetry(const Program &P,
     std::optional<ThreadPerm> Perm = M.finalize();
     if (!Perm)
       continue;
+    // D3: the points-to solution must be invariant under every swap the
+    // permutation induces (swaps generate the cycle, so edge-wise
+    // swap-invariance covers composite cycles conservatively).
+    if (AnyHeap) {
+      bool Iso = true;
+      for (unsigned T = 0; T < N && Iso; ++T)
+        if (Sigma[T] != T)
+          Iso = siteGraphsIsomorphic(Pts, T, Sigma[T]);
+      if (!Iso)
+        continue;
+    }
     auto Renamed = renamedEpilogue(P, FP, Holes, &*Perm);
     if (!Renamed || *Renamed != *IdEpilogue)
       continue;

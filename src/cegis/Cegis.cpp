@@ -41,6 +41,7 @@ bool applyPrescreen(ir::Program &P, const flat::FlatProgram &FP,
   R.Stats.ExclusionConstraints = A.Exclusions.size();
   R.Stats.SpaceLog10Delta = A.SpaceLog10Delta;
   R.Stats.RaceWarnings = A.RaceWarnings;
+  R.Stats.HeapRaceWarnings = A.HeapRaceWarnings;
   R.Diags = std::move(A.Diags);
   R.Stats.SpruneSeconds = Watch.seconds();
   if (Cfg.Log && (!A.Bans.empty() || !A.Exclusions.empty()))
@@ -56,10 +57,10 @@ bool applyPrescreen(ir::Program &P, const flat::FlatProgram &FP,
   return false;
 }
 
-/// Folds one checker verdict's parallel-engine observability counters
-/// into the run's aggregate stats.
-void accumulateCheckerStats(CegisStats &Stats,
-                            const verify::CheckResult &Check) {
+} // namespace
+
+void cegis::accumulateCheckerStats(CegisStats &Stats,
+                                   const verify::CheckResult &Check) {
   Stats.StatesExplored += Check.StatesExplored;
   if (Check.WorkersUsed > Stats.CheckerWorkers)
     Stats.CheckerWorkers = Check.WorkersUsed;
@@ -83,6 +84,17 @@ void accumulateCheckerStats(CegisStats &Stats,
     Stats.TightenedBits = Check.TightenedBits;
   if (Check.LockIndepPairs > Stats.LockIndepPairs)
     Stats.LockIndepPairs = Check.LockIndepPairs;
+  // Min over calls where the heap partition was actually applied
+  // (ShapeSites != 0), mirroring the SymmetryOrbits policy: a candidate
+  // whose partition was refused must not mask the refinement other
+  // candidates' Machines genuinely ran with.
+  if (Check.ShapeSites != 0) {
+    bool First = Stats.ShapeSites == 0;
+    if (First || Check.ShapeSites < Stats.ShapeSites)
+      Stats.ShapeSites = Check.ShapeSites;
+    if (First || Check.SiteIndepPairs < Stats.SiteIndepPairs)
+      Stats.SiteIndepPairs = Check.SiteIndepPairs;
+  }
   Stats.PackEscapes += Check.PackEscapes;
   Stats.SpilledStates += Check.SpilledStates;
   Stats.SpillBytes += Check.SpillBytes;
@@ -94,6 +106,8 @@ void accumulateCheckerStats(CegisStats &Stats,
   for (size_t I = 0; I < Check.PerWorkerStates.size(); ++I)
     Stats.PerWorkerStates[I] += Check.PerWorkerStates[I];
 }
+
+namespace {
 
 /// Writes the live SAT instance as annotated DIMACS when the caller
 /// asked for it (CegisConfig::DumpCnfPath / psketch_tool --dump-cnf).
@@ -129,6 +143,7 @@ CegisResult ConcurrentCegis::run() {
   SynthOpts.WarmStart = Cfg.SolverWarmStart;
   synth::InductiveSynth Synth(FP, SynthOpts);
   bool Proved = applyPrescreen(P, FP, Cfg, Synth, R);
+  bool SeenPts = false; ///< MustNotAliasPairs min-where-ran latch
 
   while (!Proved) {
     // Budget checks.
@@ -152,9 +167,18 @@ CegisResult ConcurrentCegis::run() {
     bool HaveFacts = false;
     if (Cfg.AbsInt) {
       WallTimer AbsWatch;
-      Facts = analysis::analyzeCandidate(P, FP, Candidate);
+      Facts = analysis::analyzeCandidate(P, FP, Candidate,
+                                         analysis::AbsIntConfig(), Cfg.Shape);
       R.Stats.AbsIntSeconds += AbsWatch.seconds();
       HaveFacts = true;
+      if (Facts.Pts.Ran) {
+        // Min across candidates where points-to ran (the weakest
+        // must-not-alias evidence any tuned Machine rested on).
+        uint64_t Pairs = Facts.Pts.mustNotAliasPairs();
+        if (!SeenPts || Pairs < R.Stats.MustNotAliasPairs)
+          R.Stats.MustNotAliasPairs = Pairs;
+        SeenPts = true;
+      }
     }
     bool Refuted = HaveFacts && Facts.Refuted;
     if (Refuted && !Cfg.AbsIntAudit) {
@@ -182,6 +206,8 @@ CegisResult ConcurrentCegis::run() {
     if (HaveFacts && !Refuted) {
       Tuning.Locks = &Facts.Locks;
       Tuning.Bounds = &Facts.Bounds;
+      if (Cfg.Shape && !Facts.Heap.empty())
+        Tuning.Heap = &Facts.Heap;
     }
     Machine M(FP, Candidate, Tuning);
     R.Stats.VmodelSeconds += VModel.seconds();
@@ -191,6 +217,23 @@ CegisResult ConcurrentCegis::run() {
     R.Stats.VsolveSeconds += VSolve.seconds();
     accumulateCheckerStats(R.Stats, Check);
     ++R.Stats.Iterations;
+
+    // Shape audit: re-check without the heap partition and demand the
+    // identical verdict and counterexample. Disagreement means the
+    // partition licensed an unsound POR discount — surfaced, not hidden.
+    if (Cfg.ShapeAudit && Tuning.Heap) {
+      exec::MachineTuning Plain = Tuning;
+      Plain.Heap = nullptr;
+      Machine Untuned(FP, Candidate, Plain);
+      verify::CheckResult Ref = verify::checkCandidate(Untuned, Cfg.Checker);
+      bool Agree = Ref.Ok == Check.Ok;
+      if (Agree && !Check.Ok)
+        Agree = Check.Cex && Ref.Cex && Check.Cex->Where == Ref.Cex->Where &&
+                Check.Cex->Steps == Ref.Cex->Steps &&
+                Check.Cex->V.Label == Ref.Cex->V.Label;
+      if (!Agree)
+        ++R.Stats.ShapeFalsePrunes;
+    }
 
     if (Refuted) {
       if (Check.Ok)
@@ -248,6 +291,11 @@ SequentialCegis::SequentialCegis(ir::Program &P,
   // here, so they are forced off (CegisConfig doc).
   this->Cfg.AbsInt = false;
   this->Cfg.Analysis.AbsInt = false;
+  // The shape screen's leak lint likewise reasons from declared
+  // initializers (reachability at quiescence), so it is forced off with
+  // the same argument; the per-candidate partition rides AbsInt anyway.
+  this->Cfg.Shape = false;
+  this->Cfg.Analysis.Shape = false;
   WallTimer Watch;
   FP = flat::flatten(P);
   FlattenSeconds = Watch.seconds();
